@@ -1,0 +1,153 @@
+"""Ablation benchmarks for the reproduction's design choices.
+
+Not part of the paper's evaluation — these isolate the contribution of
+individual mechanisms:
+
+- *dispatch tiers*: reflective (schema interpretation) vs generated
+  per-class methods (the paper's baseline) vs specialized — quantifies
+  what each of the two code-generation steps buys;
+- *run-time guards*: the price of compiling pattern/class checks into the
+  specialized routine (the safety knob the paper leaves to the
+  programmer's declaration);
+- *dead-binding elimination*: the residual-cleanup pass of the partial
+  evaluator, measured by running the unoptimized residual program;
+- *asynchronous stable storage*: blocking file appends vs the
+  BackgroundWriter hand-off.
+"""
+
+import pytest
+
+from conftest import (
+    build_workload,
+    checkpoint_incremental,
+    checkpoint_specialized,
+    run_benchmark,
+)
+from repro.core.checkpoint import ReflectiveCheckpoint
+from repro.core.storage import FULL, BackgroundWriter, FileStore
+from repro.core.streams import DataOutputStream
+from repro.spec import codegen
+from repro.spec.pe import Specializer
+from repro.spec.specclass import SpecClass, SpecializedCheckpointer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        num_lists=5,
+        list_length=5,
+        ints_per_element=1,
+        percent_modified=0.25,
+        modified_lists=1,
+        last_only=True,
+    )
+
+
+# -- dispatch tiers -----------------------------------------------------------
+
+
+def test_ablation_tier_reflective(benchmark, workload):
+    benchmark.extra_info["ablation"] = "run-time schema interpretation tier"
+
+    def target(w):
+        driver = ReflectiveCheckpoint(DataOutputStream())
+        for root in w.structures:
+            driver.checkpoint(root)
+        return driver.size
+
+    run_benchmark(benchmark, workload, target)
+
+
+def test_ablation_tier_generated(benchmark, workload):
+    benchmark.extra_info["ablation"] = "per-class generated methods (paper baseline)"
+    run_benchmark(benchmark, workload, checkpoint_incremental)
+
+
+def test_ablation_tier_specialized(benchmark, workload):
+    fn = SpecializedCheckpointer(
+        SpecClass(workload.shape, workload.pattern, name="abl_spec")
+    )
+    benchmark.extra_info["ablation"] = "monolithic specialized routine"
+    run_benchmark(benchmark, workload, lambda w: checkpoint_specialized(w, fn))
+
+
+# -- guards ---------------------------------------------------------------------
+
+
+def test_ablation_guards_off(benchmark, workload):
+    fn = SpecializedCheckpointer(
+        SpecClass(workload.shape, workload.pattern, name="abl_unguarded")
+    )
+    benchmark.extra_info["ablation"] = "specialized, no runtime guards"
+    run_benchmark(benchmark, workload, lambda w: checkpoint_specialized(w, fn))
+
+
+def test_ablation_guards_on(benchmark, workload):
+    fn = SpecializedCheckpointer(
+        SpecClass(workload.shape, workload.pattern, name="abl_guarded", guards=True)
+    )
+    benchmark.extra_info["ablation"] = "specialized + class/pattern guards"
+    run_benchmark(benchmark, workload, lambda w: checkpoint_specialized(w, fn))
+
+
+# -- residual cleanup -------------------------------------------------------------
+
+
+def _emit_without_cleanup(workload):
+    specializer = Specializer(workload.shape, workload.pattern, cleanup=False)
+    _, fn = codegen.emit(specializer.specialize(), "abl_nocleanup")
+    return fn
+
+
+def test_ablation_cleanup_on(benchmark, workload):
+    fn = SpecializedCheckpointer(
+        SpecClass(workload.shape, workload.pattern, name="abl_cleanup")
+    )
+    benchmark.extra_info["ablation"] = "dead-binding elimination ON"
+    run_benchmark(benchmark, workload, lambda w: checkpoint_specialized(w, fn))
+
+
+def test_ablation_cleanup_off(benchmark, workload):
+    raw_fn = _emit_without_cleanup(workload)
+
+    def target(w):
+        out = DataOutputStream()
+        for root in w.structures:
+            raw_fn(root, out)
+        return out.size
+
+    benchmark.extra_info["ablation"] = "dead-binding elimination OFF"
+    run_benchmark(benchmark, workload, target)
+
+
+# -- asynchronous storage ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def epoch_bytes(workload):
+    workload.snapshot.restore()
+    out = DataOutputStream()
+    from repro.core.checkpoint import FullCheckpoint
+
+    driver = FullCheckpoint(out)
+    for root in workload.structures:
+        driver.checkpoint(root)
+    return out.getvalue()
+
+
+def test_ablation_storage_blocking(benchmark, tmp_path_factory, epoch_bytes):
+    store = FileStore(str(tmp_path_factory.mktemp("blocking")))
+    benchmark.extra_info["ablation"] = "blocking fsync append"
+    benchmark.pedantic(
+        lambda: store.append(FULL, epoch_bytes), rounds=5, iterations=1
+    )
+
+
+def test_ablation_storage_background(benchmark, tmp_path_factory, epoch_bytes):
+    store = FileStore(str(tmp_path_factory.mktemp("background")))
+    writer = BackgroundWriter(store, max_queued=256)
+    benchmark.extra_info["ablation"] = "asynchronous hand-off (paper's model)"
+    benchmark.pedantic(
+        lambda: writer.append(FULL, epoch_bytes), rounds=5, iterations=1
+    )
+    writer.close()

@@ -1,0 +1,76 @@
+"""Figure 10: specialization w.r.t. last-element-only positions.
+
+The paper's strongest pattern: a modified object may only be the last
+element of each (restricted set of) lists, so specialized code chases the
+spine without testing and ignores everything else. Paper speedups: 5-15
+with 1 int recorded, 2-11 with 10.
+"""
+
+import pytest
+
+from conftest import (
+    build_workload,
+    checkpoint_incremental,
+    checkpoint_specialized,
+    run_benchmark,
+    simulated_speedups,
+)
+from repro.spec.specclass import SpecClass, SpecializedCheckpointer
+
+
+def _pattern_fn(workload, name):
+    return SpecializedCheckpointer(
+        SpecClass(workload.shape, workload.pattern, name=name)
+    )
+
+
+@pytest.fixture(scope="module")
+def best_case():
+    return build_workload(
+        num_lists=5,
+        list_length=5,
+        ints_per_element=1,
+        percent_modified=0.25,
+        modified_lists=1,
+        last_only=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def heavy_case():
+    return build_workload(
+        num_lists=5,
+        list_length=5,
+        ints_per_element=10,
+        percent_modified=1.0,
+        modified_lists=5,
+        last_only=True,
+    )
+
+
+def test_fig10_incremental_best(benchmark, best_case):
+    benchmark.extra_info["paper"] = "Figure 10 baseline"
+    run_benchmark(benchmark, best_case, checkpoint_incremental)
+
+
+def test_fig10_spec_best(benchmark, best_case):
+    fn = _pattern_fn(best_case, "fig10_best")
+    benchmark.extra_info["paper"] = "Figure 10: paper speedup up to 15 (1 int)"
+    benchmark.extra_info["simulated_speedup_vs_incremental"] = simulated_speedups(
+        best_case, "incremental", "spec_struct_mod"
+    )
+    run_benchmark(benchmark, best_case, lambda w: checkpoint_specialized(w, fn))
+
+
+def test_fig10_incremental_heavy(benchmark, heavy_case):
+    benchmark.extra_info["paper"] = "Figure 10 baseline"
+    run_benchmark(benchmark, heavy_case, checkpoint_incremental)
+
+
+def test_fig10_spec_heavy(benchmark, heavy_case):
+    fn = _pattern_fn(heavy_case, "fig10_heavy")
+    benchmark.extra_info["paper"] = "Figure 10: paper speedup ~2 (10 ints, 100%)"
+    benchmark.extra_info["simulated_speedup_vs_incremental"] = simulated_speedups(
+        heavy_case, "incremental", "spec_struct_mod"
+    )
+    run_benchmark(benchmark, heavy_case, lambda w: checkpoint_specialized(w, fn))

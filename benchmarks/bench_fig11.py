@@ -1,0 +1,69 @@
+"""Figure 11: the Figure 10 experiment on the Sun VMs.
+
+Wall-clock cannot distinguish 1999 VMs, so the CPython implementations
+are benchmarked once and the calibrated per-VM simulated speedups —
+JDK 1.2 JIT (Figure 11a, paper: up to ~6) and JDK 1.2 + HotSpot
+(Figure 11b, paper: up to ~12) — are attached as extra_info, computed
+from exact op counts of the metered abstract machine.
+"""
+
+import pytest
+
+from conftest import (
+    build_workload,
+    checkpoint_incremental,
+    checkpoint_specialized,
+    run_benchmark,
+)
+from repro.spec.specclass import SpecClass, SpecializedCheckpointer
+from repro.synthetic.runner import run_variant
+from repro.vm.backends import HOTSPOT, JDK12_JIT
+
+
+@pytest.fixture(scope="module")
+def fig11_workload():
+    return build_workload(
+        num_lists=5,
+        list_length=5,
+        ints_per_element=1,
+        percent_modified=0.25,
+        modified_lists=1,
+        last_only=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def sun_vm_speedups(fig11_workload):
+    results = {
+        variant: run_variant(fig11_workload, variant, meter=True, meter_sample=150)
+        for variant in ("incremental", "spec_struct_mod")
+    }
+    base, cand = results["incremental"].counts, results["spec_struct_mod"].counts
+    return {
+        "JDK 1.2 JIT (fig 11a, paper up to ~6)": round(
+            JDK12_JIT.seconds(base) / JDK12_JIT.seconds(cand), 2
+        ),
+        "JDK 1.2 + HotSpot (fig 11b, paper up to ~12)": round(
+            HOTSPOT.seconds(base) / HOTSPOT.seconds(cand), 2
+        ),
+    }
+
+
+def test_fig11_unspecialized(benchmark, fig11_workload, sun_vm_speedups):
+    benchmark.extra_info["paper"] = "Figure 11 baseline (unspecialized)"
+    benchmark.extra_info["sun_vm_speedups"] = sun_vm_speedups
+    run_benchmark(benchmark, fig11_workload, checkpoint_incremental)
+
+
+def test_fig11_specialized(benchmark, fig11_workload, sun_vm_speedups):
+    fn = SpecializedCheckpointer(
+        SpecClass(fig11_workload.shape, fig11_workload.pattern, name="fig11")
+    )
+    benchmark.extra_info["paper"] = "Figure 11 specialized"
+    benchmark.extra_info["sun_vm_speedups"] = sun_vm_speedups
+    run_benchmark(
+        benchmark, fig11_workload, lambda w: checkpoint_specialized(w, fn)
+    )
+    assert sun_vm_speedups[
+        "JDK 1.2 + HotSpot (fig 11b, paper up to ~12)"
+    ] > sun_vm_speedups["JDK 1.2 JIT (fig 11a, paper up to ~6)"]

@@ -1,0 +1,58 @@
+"""Figure 7: incremental vs full checkpointing on the synthetic workload.
+
+The paper's configuration where incremental wins the most: 25% of objects
+modified, 10 integers recorded per modified object — plus the break-even
+100% configuration. Simulated per-VM speedups are attached as extra_info.
+"""
+
+import pytest
+
+from conftest import (
+    build_workload,
+    checkpoint_full,
+    checkpoint_incremental,
+    run_benchmark,
+    simulated_speedups,
+)
+
+
+@pytest.fixture(scope="module")
+def quarter_modified():
+    return build_workload(
+        num_lists=5, list_length=5, ints_per_element=10, percent_modified=0.25
+    )
+
+
+@pytest.fixture(scope="module")
+def all_modified():
+    return build_workload(
+        num_lists=5, list_length=5, ints_per_element=10, percent_modified=1.0
+    )
+
+
+def test_fig7_full_25pct(benchmark, quarter_modified):
+    benchmark.extra_info["paper"] = "Figure 7 baseline (full, 25% modified)"
+    run_benchmark(benchmark, quarter_modified, checkpoint_full)
+
+
+def test_fig7_incremental_25pct(benchmark, quarter_modified):
+    benchmark.extra_info["paper"] = "Figure 7: paper speedup >3 at 25%, 10 ints"
+    benchmark.extra_info["simulated_speedup_vs_full"] = simulated_speedups(
+        quarter_modified, "full", "incremental"
+    )
+    run_benchmark(benchmark, quarter_modified, checkpoint_incremental)
+
+
+def test_fig7_full_100pct(benchmark, all_modified):
+    benchmark.extra_info["paper"] = "Figure 7 baseline (full, 100% modified)"
+    run_benchmark(benchmark, all_modified, checkpoint_full)
+
+
+def test_fig7_incremental_100pct(benchmark, all_modified):
+    benchmark.extra_info["paper"] = (
+        "Figure 7: at 100% modified the flag overhead is negligible (~1x)"
+    )
+    benchmark.extra_info["simulated_speedup_vs_full"] = simulated_speedups(
+        all_modified, "full", "incremental"
+    )
+    run_benchmark(benchmark, all_modified, checkpoint_incremental)

@@ -1,0 +1,63 @@
+"""Figure 8: structure-specialized vs generic incremental checkpointing.
+
+The two ends of the paper's reported range: 100% modified with 10 ints
+per element (paper speedup 1.5) and 25% modified with 1 int and length-5
+lists (paper speedup ~3.5).
+"""
+
+import pytest
+
+from conftest import (
+    build_workload,
+    checkpoint_incremental,
+    checkpoint_specialized,
+    run_benchmark,
+    simulated_speedups,
+)
+from repro.spec.specclass import SpecClass, SpecializedCheckpointer
+
+
+def _struct_fn(workload, name):
+    return SpecializedCheckpointer(SpecClass(workload.shape, name=name))
+
+
+@pytest.fixture(scope="module")
+def heavy_writes():
+    return build_workload(
+        num_lists=5, list_length=5, ints_per_element=10, percent_modified=1.0
+    )
+
+
+@pytest.fixture(scope="module")
+def light_writes():
+    return build_workload(
+        num_lists=5, list_length=5, ints_per_element=1, percent_modified=0.25
+    )
+
+
+def test_fig8_incremental_100pct_10int(benchmark, heavy_writes):
+    benchmark.extra_info["paper"] = "Figure 8 baseline"
+    run_benchmark(benchmark, heavy_writes, checkpoint_incremental)
+
+
+def test_fig8_spec_struct_100pct_10int(benchmark, heavy_writes):
+    fn = _struct_fn(heavy_writes, "fig8_heavy")
+    benchmark.extra_info["paper"] = "Figure 8: paper speedup 1.5 (100%, 10 ints)"
+    benchmark.extra_info["simulated_speedup_vs_incremental"] = simulated_speedups(
+        heavy_writes, "incremental", "spec_struct"
+    )
+    run_benchmark(benchmark, heavy_writes, lambda w: checkpoint_specialized(w, fn))
+
+
+def test_fig8_incremental_25pct_1int(benchmark, light_writes):
+    benchmark.extra_info["paper"] = "Figure 8 baseline"
+    run_benchmark(benchmark, light_writes, checkpoint_incremental)
+
+
+def test_fig8_spec_struct_25pct_1int(benchmark, light_writes):
+    fn = _struct_fn(light_writes, "fig8_light")
+    benchmark.extra_info["paper"] = "Figure 8: paper speedup ~3.5 (25%, 1 int, len 5)"
+    benchmark.extra_info["simulated_speedup_vs_incremental"] = simulated_speedups(
+        light_writes, "incremental", "spec_struct"
+    )
+    run_benchmark(benchmark, light_writes, lambda w: checkpoint_specialized(w, fn))

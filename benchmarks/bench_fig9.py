@@ -1,0 +1,73 @@
+"""Figure 9: specialization w.r.t. the set of lists that may contain
+modified elements (length-5 lists).
+
+Benchmarks the extreme points: 1 of 5 lists modifiable at 25% (paper
+speedup ~9 with 1 int) against the all-lists 100% case (paper ~2).
+"""
+
+import pytest
+
+from conftest import (
+    build_workload,
+    checkpoint_incremental,
+    checkpoint_specialized,
+    run_benchmark,
+    simulated_speedups,
+)
+from repro.spec.specclass import SpecClass, SpecializedCheckpointer
+
+
+def _pattern_fn(workload, name):
+    return SpecializedCheckpointer(
+        SpecClass(workload.shape, workload.pattern, name=name)
+    )
+
+
+@pytest.fixture(scope="module")
+def one_list():
+    return build_workload(
+        num_lists=5,
+        list_length=5,
+        ints_per_element=1,
+        percent_modified=0.25,
+        modified_lists=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def all_lists():
+    return build_workload(
+        num_lists=5,
+        list_length=5,
+        ints_per_element=1,
+        percent_modified=1.0,
+        modified_lists=5,
+    )
+
+
+def test_fig9_incremental_one_list(benchmark, one_list):
+    benchmark.extra_info["paper"] = "Figure 9 baseline"
+    run_benchmark(benchmark, one_list, checkpoint_incremental)
+
+
+def test_fig9_spec_one_list(benchmark, one_list):
+    fn = _pattern_fn(one_list, "fig9_one")
+    benchmark.extra_info["paper"] = "Figure 9: paper speedup ~9 (1 list, 25%, 1 int)"
+    benchmark.extra_info["simulated_speedup_vs_incremental"] = simulated_speedups(
+        one_list, "incremental", "spec_struct_mod"
+    )
+    run_benchmark(benchmark, one_list, lambda w: checkpoint_specialized(w, fn))
+
+
+def test_fig9_incremental_all_lists(benchmark, all_lists):
+    benchmark.extra_info["paper"] = "Figure 9 baseline"
+    run_benchmark(benchmark, all_lists, checkpoint_incremental)
+
+
+def test_fig9_spec_all_lists(benchmark, all_lists):
+    fn = _pattern_fn(all_lists, "fig9_all")
+    benchmark.extra_info["paper"] = "Figure 9: paper speedup ~2 (5 lists, 100%)"
+    benchmark.extra_info["simulated_speedup_vs_incremental"] = simulated_speedups(
+        all_lists, "incremental", "spec_struct_mod"
+    )
+    run_benchmark(benchmark, all_lists, lambda w: checkpoint_specialized(w, fn))

@@ -1,0 +1,71 @@
+"""Table 2: absolute checkpoint times, unspecialized vs specialized per VM.
+
+Benchmarks the Table 2 workload (10 integers per element, last-element
+positions, 1 or 5 possibly-modified lists) in CPython, and attaches the
+epoch-scaled simulated seconds for the paper's three VMs (paper
+magnitudes at 100%: JDK 1.2 ~8-11 s, HotSpot ~1-3 s, Harissa ~2-4 s for
+20,000 structures).
+"""
+
+import pytest
+
+from conftest import (
+    BENCH_STRUCTURES,
+    build_workload,
+    checkpoint_incremental,
+    checkpoint_specialized,
+    run_benchmark,
+)
+from repro.spec.specclass import SpecClass, SpecializedCheckpointer
+from repro.synthetic.runner import run_variant
+from repro.vm.backends import EPOCH_SCALE, HARISSA, HOTSPOT, JDK12_JIT
+
+PAPER_POPULATION = 20000
+
+
+def _simulated_seconds(workload, variant):
+    result = run_variant(workload, variant, meter=True, meter_sample=150)
+    scale = (PAPER_POPULATION / BENCH_STRUCTURES) * EPOCH_SCALE
+    return {
+        profile.name: round(profile.seconds(result.counts) * scale, 2)
+        for profile in (JDK12_JIT, HOTSPOT, HARISSA)
+    }
+
+
+@pytest.fixture(scope="module", params=[1, 5], ids=["lists1", "lists5"])
+def table2_workload(request):
+    return build_workload(
+        num_lists=5,
+        list_length=5,
+        ints_per_element=10,
+        percent_modified=1.0,
+        modified_lists=request.param,
+        last_only=True,
+    )
+
+
+def test_table2_unspecialized(benchmark, table2_workload):
+    benchmark.extra_info["paper"] = "Table 2, unspecialized rows"
+    benchmark.extra_info["simulated_seconds_paper_epoch"] = _simulated_seconds(
+        table2_workload, "incremental"
+    )
+    run_benchmark(benchmark, table2_workload, checkpoint_incremental)
+
+
+def test_table2_specialized(benchmark, table2_workload):
+    fn = SpecializedCheckpointer(
+        SpecClass(
+            table2_workload.shape,
+            table2_workload.pattern,
+            name=f"table2_{table2_workload.config.modified_lists}",
+        )
+    )
+    simulated = _simulated_seconds(table2_workload, "spec_struct_mod")
+    benchmark.extra_info["paper"] = "Table 2, specialized rows"
+    benchmark.extra_info["simulated_seconds_paper_epoch"] = simulated
+    run_benchmark(
+        benchmark, table2_workload, lambda w: checkpoint_specialized(w, fn)
+    )
+    unspec = _simulated_seconds(table2_workload, "incremental")
+    for vm in simulated:
+        assert simulated[vm] < unspec[vm]

@@ -1,0 +1,84 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*.py`` file corresponds to one table or figure of the paper
+(see DESIGN.md's per-experiment index). The benchmarks measure the *real*
+CPython implementations; the calibrated per-VM simulated speedups for the
+same configurations are attached to each benchmark's ``extra_info`` so a
+single ``pytest benchmarks/ --benchmark-only`` run reports both.
+
+Populations are kept small so the suite runs in seconds; speedups are
+population-size-invariant (verified by the unit tests), and
+``python -m repro.bench --paper-scale`` runs the full 20,000-structure
+configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, FullCheckpoint
+from repro.core.streams import DataOutputStream
+from repro.synthetic.runner import SyntheticConfig, SyntheticWorkload, run_variant
+from repro.vm.backends import HARISSA, HOTSPOT, JDK12_JIT
+
+BENCH_STRUCTURES = 300
+
+
+def build_workload(**overrides) -> SyntheticWorkload:
+    config = SyntheticConfig(num_structures=BENCH_STRUCTURES, **overrides)
+    return SyntheticWorkload(config)
+
+
+def checkpoint_full(workload) -> int:
+    driver = FullCheckpoint(DataOutputStream())
+    for root in workload.structures:
+        driver.checkpoint(root)
+    return driver.size
+
+
+def checkpoint_incremental(workload) -> int:
+    driver = Checkpoint(DataOutputStream())
+    for root in workload.structures:
+        driver.checkpoint(root)
+    return driver.size
+
+
+def checkpoint_specialized(workload, fn) -> int:
+    out = DataOutputStream()
+    fn.checkpoint_all(workload.structures, out)
+    return out.size
+
+
+def simulated_speedups(workload, base: str, cand: str) -> dict:
+    """Per-VM simulated speedups for a workload, for extra_info."""
+    results = {
+        variant: run_variant(workload, variant, meter=True, meter_sample=150)
+        for variant in (base, cand)
+    }
+    speedups = {}
+    for profile in (HARISSA, HOTSPOT, JDK12_JIT):
+        speedups[profile.name] = round(
+            profile.seconds(results[base].counts)
+            / profile.seconds(results[cand].counts),
+            2,
+        )
+    return speedups
+
+
+def run_benchmark(benchmark, workload, target, rounds: int = 10):
+    """Measure ``target(workload)`` with the flag state restored per round."""
+    return benchmark.pedantic(
+        target,
+        args=(workload,),
+        setup=lambda: (workload.snapshot.restore(), None)[1],
+        rounds=rounds,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def spec_compiler():
+    from repro.spec.specclass import SpecCompiler
+
+    return SpecCompiler()

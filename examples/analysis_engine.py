@@ -1,0 +1,82 @@
+"""Run the program analysis engine with per-iteration checkpointing.
+
+Run with::
+
+    python examples/analysis_engine.py
+
+The realistic application of the paper (section 4): side-effect,
+binding-time and evaluation-time analyses over a generated ~750-line
+image-manipulation program in simplified C. A checkpoint is taken after
+every analysis iteration; this example compares the full, incremental and
+phase-specialized strategies and prints the specialized routine generated
+for the binding-time phase.
+"""
+
+from repro.analysis.attributes import DYNAMIC, STATIC
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.programs import image_division, paper_scale_source
+
+
+def describe_analysis(engine: AnalysisEngine) -> None:
+    program = engine.program
+    static_nodes = dynamic_nodes = 0
+    for node in program.walk():
+        if isinstance(node, ast.Expr):
+            value = engine.attributes.of(node).bt_entry.bt.value
+            if value == STATIC:
+                static_nodes += 1
+            elif value == DYNAMIC:
+                dynamic_nodes += 1
+    print(
+        f"  program: {program.source_lines} lines, {program.node_count} AST nodes, "
+        f"{len(program.functions)} functions"
+    )
+    print(
+        f"  binding times: {static_nodes} static / {dynamic_nodes} dynamic "
+        "expressions (geometry static, pixel data dynamic)"
+    )
+
+
+def main() -> None:
+    source = paper_scale_source()
+    division = image_division()
+
+    print("Running the analysis engine under three checkpointing strategies...\n")
+    reports = {}
+    engines = {}
+    for strategy in ("full", "incremental", "specialized"):
+        engine = AnalysisEngine(
+            source, division=division, strategy=strategy, measure_traversal=True
+        )
+        reports[strategy] = engine.run()
+        engines[strategy] = engine
+
+    report = reports["incremental"]
+    print(f"analysis iterations per phase: {report.phase_iterations}")
+    describe_analysis(engines["incremental"])
+    print()
+
+    print(f"{'strategy':14s} {'base (KB)':>10s} {'per-phase checkpoint time (s)':>42s}")
+    for strategy, rep in reports.items():
+        per_phase = "  ".join(
+            f"{phase}={rep.total_checkpoint_seconds(phase):.4f}"
+            for phase in ("SE", "BTA", "ETA")
+        )
+        print(f"{strategy:14s} {rep.base_bytes / 1000:10.1f} {per_phase:>42s}")
+
+    incremental = reports["incremental"]
+    specialized = reports["specialized"]
+    for phase in ("BTA", "ETA"):
+        gain = incremental.total_checkpoint_seconds(
+            phase
+        ) / specialized.total_checkpoint_seconds(phase)
+        print(f"specialization speedup for {phase} phase: {gain:.2f}x")
+
+    print("\nSpecialized checkpoint routine generated for the BTA phase")
+    print("(only the bt_entry subtree of each Attributes may be modified):\n")
+    print(engines["specialized"].specialized_for("BTA").source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Quickstart: make classes checkpointable, checkpoint incrementally, recover.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the whole core API on a small order-book-like structure:
+
+1. declare checkpointable classes with field descriptors,
+2. take a base (full) checkpoint,
+3. mutate a few objects — the framework tracks modification flags
+   automatically — and take incremental checkpoints,
+4. "crash", and rebuild the exact state from base + deltas.
+"""
+
+from repro import (
+    Checkpoint,
+    Checkpointable,
+    FullCheckpoint,
+    child,
+    child_list,
+    replay,
+    scalar,
+    scalar_list,
+)
+from repro.core.restore import structurally_equal
+
+
+# -- 1. declare the checkpointable state ------------------------------------
+# Every assignment through a declared field marks its object modified; the
+# framework generates record/fold/restore methods per class.
+
+
+class Position(Checkpointable):
+    symbol = scalar("str")
+    quantity = scalar("int")
+    price = scalar("float")
+
+
+class Account(Checkpointable):
+    owner = scalar("str")
+    cash = scalar("float")
+    positions = child_list(Position)
+    audit = scalar_list("int")
+
+
+class Exchange(Checkpointable):
+    name = scalar("str")
+    accounts = child_list(Account)
+    best_account = child(Account)
+
+
+def build_exchange() -> Exchange:
+    exchange = Exchange(name="DSN-2000")
+    for owner in ("julia", "gilles", "compose"):
+        account = Account(owner=owner, cash=1000.0)
+        account.positions.append(Position(symbol="JVM", quantity=10, price=99.5))
+        account.positions.append(Position(symbol="SPEC", quantity=5, price=42.0))
+        exchange.accounts.append(account)
+    exchange.best_account = exchange.accounts[0]
+    return exchange
+
+
+def main() -> None:
+    exchange = build_exchange()
+    root_id = exchange.get_checkpoint_info().object_id
+
+    # -- 2. base checkpoint: records every reachable object ------------------
+    base_driver = FullCheckpoint()
+    base_driver.checkpoint(exchange)
+    base = base_driver.getvalue()
+    print(f"base checkpoint: {len(base)} bytes")
+
+    deltas = []
+
+    # -- 3. mutate and take incremental checkpoints --------------------------
+    exchange.accounts[1].cash = 1250.0  # one scalar write -> one dirty object
+    exchange.accounts[1].audit.append(1)
+    delta_driver = Checkpoint()
+    delta_driver.checkpoint(exchange)
+    deltas.append(delta_driver.getvalue())
+    print(f"delta 1 (one account touched): {len(deltas[-1])} bytes")
+
+    exchange.accounts[2].positions[0].quantity = 11
+    exchange.best_account = exchange.accounts[2]  # child pointer change
+    delta_driver = Checkpoint()
+    delta_driver.checkpoint(exchange)
+    deltas.append(delta_driver.getvalue())
+    print(f"delta 2 (position + root pointer): {len(deltas[-1])} bytes")
+
+    # An incremental checkpoint with nothing modified is (almost) free.
+    empty_driver = Checkpoint()
+    empty_driver.checkpoint(exchange)
+    print(f"delta with no modifications: {empty_driver.size} bytes")
+
+    # -- 4. crash and recover -------------------------------------------------
+    table = replay(base, deltas)
+    recovered = table[root_id]
+
+    assert isinstance(recovered, Exchange)
+    assert recovered.accounts[1].cash == 1250.0
+    assert recovered.accounts[2].positions[0].quantity == 11
+    assert recovered.best_account is recovered.accounts[2]
+    assert structurally_equal(exchange, recovered, compare_ids=True)
+    print("recovered state is identical to the live state")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""End-to-end Tempo story: analyze, checkpoint, then specialize a program.
+
+Run with::
+
+    python examples/specialize_convolution.py
+
+The paper's analysis engine exists to drive program specialization (it is
+"a Java implementation of the analyses performed by the program
+specializer Tempo"). This example closes that loop on the mini-C side:
+
+1. the engine runs side-effect, binding-time and evaluation-time analysis
+   over a convolution program, taking an incremental checkpoint after
+   every iteration (the paper's workload);
+2. the computed annotations then drive the mini-C partial evaluator,
+   producing the classic specialized convolution: kernel coefficients
+   folded into the code, inner loops unrolled, helper functions
+   specialized per static argument;
+3. the reference interpreter certifies that original and residual
+   programs compute identical images.
+"""
+
+import random
+
+from repro.analysis.bta import Division
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.interp import run_program
+from repro.analysis.specializer import specialize_program
+
+SOURCE = """
+int width = 16;
+int height = 16;
+int img[256];
+int out[256];
+int kernel[9];
+int kdiv = 1;
+
+void init_kernel() {
+    kernel[0] = 1; kernel[1] = 2; kernel[2] = 1;
+    kernel[3] = 2; kernel[4] = 4; kernel[5] = 2;
+    kernel[6] = 1; kernel[7] = 2; kernel[8] = 1;
+    kdiv = 16;
+}
+
+int clamp(int v, int lo, int hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+
+int get(int x, int y) {
+    return img[clamp(y, 0, height - 1) * width + clamp(x, 0, width - 1)];
+}
+
+void convolve() {
+    int x;
+    int y;
+    for (y = 0; y < height; y = y + 1) {
+        for (x = 0; x < width; x = x + 1) {
+            int acc = 0;
+            int dx;
+            int dy;
+            for (dy = 0; dy < 3; dy = dy + 1) {
+                for (dx = 0; dx < 3; dx = dx + 1) {
+                    acc = acc + kernel[dy * 3 + dx] * get(x + dx - 1, y + dy - 1);
+                }
+            }
+            out[y * width + x] = acc / kdiv;
+        }
+    }
+}
+
+void main() {
+    init_kernel();
+    convolve();
+}
+"""
+
+
+def main() -> None:
+    division = Division(
+        static_globals={"kernel", "kdiv"},
+        dynamic_globals={"width", "height", "img", "out"},
+    )
+
+    # 1. analyze with per-iteration incremental checkpoints
+    engine = AnalysisEngine(SOURCE, division=division, strategy="incremental")
+    report = engine.run()
+    print(
+        f"analysis done: iterations {report.phase_iterations}, "
+        f"{len(report.records)} incremental checkpoints "
+        f"({report.total_checkpoint_bytes()} bytes total, "
+        f"base {report.base_bytes} bytes)"
+    )
+
+    # 2. specialize the analyzed program
+    residual = specialize_program(engine)
+    print("\n===== residual program (kernel folded, 3x3 loops unrolled) =====\n")
+    print(residual.source)
+
+    # 3. certify equivalence on random images
+    rng = random.Random(7)
+    for trial in range(3):
+        img = [rng.randrange(256) for _ in range(256)]
+        original = run_program(SOURCE, {"img": img}, fuel=50_000_000)
+        specialized = run_program(residual.source, {"img": img}, fuel=50_000_000)
+        assert original["out"] == specialized["out"], "residual diverged!"
+    print("verified: residual == original on 3 random 16x16 images")
+
+    original_lines = SOURCE.count("\n") + 1
+    residual_lines = residual.source.count("\n") + 1
+    print(
+        f"\noriginal: {original_lines} lines with interpreted kernel; "
+        f"residual: {residual_lines} lines of straight-line inner code"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The primary metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the
+``wheel`` package (pip falls back to ``setup.py develop`` with
+``--no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

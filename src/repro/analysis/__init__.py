@@ -1,0 +1,36 @@
+"""The paper's realistic application: a program analysis engine (section 4).
+
+A Python implementation of the analyses a partial evaluator such as Tempo
+performs over a simplified C:
+
+- **side-effect analysis** — the sets of variables read and written by
+  every statement (interprocedural, to fixpoint);
+- **binding-time analysis** — which expressions are static (computable
+  from the inputs declared static) and which are dynamic;
+- **evaluation-time analysis** — which static expressions reference
+  variables that are definitely initialized at specialization time.
+
+The analyses run in phases, each phase iterating over the abstract syntax
+tree to a fixpoint; every AST node carries a checkpointable
+:class:`~repro.analysis.attributes.Attributes` structure (paper Figure 4)
+holding one entry per phase, and the engine takes a checkpoint at the end
+of every iteration. Because each phase writes only its own entry and
+merely reads the earlier phases' results, phase-specific specialized
+checkpointing removes the traversal of everything except the live entry —
+the paper's headline application.
+"""
+
+from repro.analysis.bta import Division
+from repro.analysis.engine import AnalysisEngine, EngineReport
+from repro.analysis.interp import Interpreter, run_program
+from repro.analysis.specializer import MiniCSpecializer, specialize_program
+
+__all__ = [
+    "AnalysisEngine",
+    "EngineReport",
+    "Division",
+    "Interpreter",
+    "run_program",
+    "MiniCSpecializer",
+    "specialize_program",
+]

@@ -1,0 +1,141 @@
+"""Command line for the analysis engine and the mini-C specializer.
+
+Usage::
+
+    python -m repro.analysis analyze  program.c [--static g1,g2] [--dynamic g3]
+    python -m repro.analysis specialize program.c [--static ...] [--entry main]
+    python -m repro.analysis run      program.c [--set name=value ...]
+
+``analyze`` prints per-phase iteration counts, checkpoint statistics and
+a binding-time summary. ``specialize`` prints the residual program.
+``run`` executes the program with the reference interpreter and prints
+the final global state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.attributes import DYNAMIC, STATIC
+from repro.analysis.bta import Division
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.interp import run_program
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.specializer import specialize_program
+
+
+def _division(args) -> Division:
+    def names(raw):
+        return {n for n in (raw or "").split(",") if n}
+
+    return Division(static_globals=names(args.static), dynamic_globals=names(args.dynamic))
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_analyze(args) -> int:
+    engine = AnalysisEngine(
+        _read(args.program),
+        division=_division(args),
+        strategy=args.strategy,
+    )
+    report = engine.run()
+    print(f"program: {engine.program.source_lines} lines, "
+          f"{engine.program.node_count} AST nodes, "
+          f"{len(engine.program.functions)} functions")
+    print(f"iterations: {report.phase_iterations}")
+    if args.strategy != "none":
+        print(f"base checkpoint: {report.base_bytes} bytes")
+        for phase in ("SE", "BTA", "ETA"):
+            sizes = [r.checkpoint_bytes for r in report.phase_records(phase)]
+            print(f"  {phase}: incremental checkpoints {sizes} bytes")
+    static = dynamic = 0
+    for node in engine.program.walk():
+        if isinstance(node, ast.Expr):
+            value = engine.attributes.of(node).bt_entry.bt.value
+            if value == STATIC:
+                static += 1
+            elif value == DYNAMIC:
+                dynamic += 1
+    print(f"binding times: {static} static / {dynamic} dynamic expressions")
+    if engine.bta.dynamic_callers:
+        print(f"functions under dynamic control: "
+              f"{', '.join(sorted(engine.bta.dynamic_callers))}")
+    return 0
+
+
+def cmd_specialize(args) -> int:
+    engine = AnalysisEngine(
+        _read(args.program), division=_division(args), strategy="none"
+    )
+    engine.run()
+    residual = specialize_program(
+        engine,
+        entry=args.entry,
+        max_residual_statements=args.budget,
+    )
+    print(residual.source, end="")
+    return 0
+
+
+def cmd_run(args) -> int:
+    inputs = {}
+    for setting in args.set or ():
+        name, _, raw = setting.partition("=")
+        if not _:
+            print(f"--set expects name=value, got {setting!r}", file=sys.stderr)
+            return 2
+        if "," in raw:
+            inputs[name] = [int(v) for v in raw.split(",") if v]
+        else:
+            inputs[name] = float(raw) if "." in raw else int(raw)
+    state = run_program(_read(args.program), inputs, fuel=args.fuel)
+    for name in sorted(state):
+        value = state[name]
+        if isinstance(value, list) and len(value) > 16:
+            shown = ", ".join(str(v) for v in value[:16])
+            print(f"{name} = [{shown}, ... {len(value)} total]")
+        else:
+            print(f"{name} = {value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.analysis")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run the three analyses")
+    analyze.add_argument("program")
+    analyze.add_argument("--static", help="comma-separated static globals")
+    analyze.add_argument("--dynamic", help="comma-separated dynamic globals")
+    analyze.add_argument(
+        "--strategy",
+        default="incremental",
+        choices=("none", "full", "incremental", "reflective", "specialized"),
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    spec = sub.add_parser("specialize", help="partially evaluate the program")
+    spec.add_argument("program")
+    spec.add_argument("--static")
+    spec.add_argument("--dynamic")
+    spec.add_argument("--entry", default="main")
+    spec.add_argument("--budget", type=int, default=50_000)
+    spec.set_defaults(func=cmd_specialize)
+
+    run = sub.add_parser("run", help="execute with the reference interpreter")
+    run.add_argument("program")
+    run.add_argument("--set", action="append", metavar="NAME=VALUE")
+    run.add_argument("--fuel", type=int, default=50_000_000)
+    run.set_defaults(func=cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

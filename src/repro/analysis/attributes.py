@@ -1,0 +1,146 @@
+"""Checkpointable analysis results (paper Figures 2 and 4).
+
+Each AST node of the analyzed program carries one :class:`Attributes`
+structure with a field for the results of each analysis phase:
+
+- :class:`SEEntry` records the side-effect analysis result — the two
+  lists of variable identifiers read and written ("records both lists");
+- :class:`BTEntry` holds a :class:`BT` annotation (static/dynamic);
+- :class:`ETEntry` holds an :class:`ET` annotation
+  (specialization-time-evaluable/residual).
+
+All of them extend the abstract :class:`Entry`, which — exactly like the
+paper's Figure 2 — contributes no local state of its own, only the
+checkpointing plumbing (here inherited from
+:class:`~repro.core.checkpointable.Checkpointable`).
+"""
+
+from __future__ import annotations
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, child_list, scalar, scalar_list
+
+#: binding-time / evaluation-time annotation codes
+UNSET = -1
+STATIC = 0
+DYNAMIC = 1
+EVAL = 0
+RESIDUAL = 1
+
+
+class Entry(Checkpointable):
+    """Abstract base of every per-phase entry (no local state)."""
+
+
+class SEEntry(Entry):
+    """Side-effect result: variable ids read and written by the node."""
+
+    reads = scalar_list("int")
+    writes = scalar_list("int")
+
+
+class BT(Checkpointable):
+    """A binding-time annotation (``STATIC``/``DYNAMIC``, ``UNSET`` initially)."""
+
+    value = scalar("int")
+
+    def __init__(self, **fields) -> None:
+        fields.setdefault("value", UNSET)
+        super().__init__(**fields)
+
+
+class BTEntry(Entry):
+    """Binding-time result for one node."""
+
+    bt = child(BT)
+
+
+class ET(Checkpointable):
+    """An evaluation-time annotation (``EVAL``/``RESIDUAL``, ``UNSET`` initially)."""
+
+    value = scalar("int")
+
+    def __init__(self, **fields) -> None:
+        fields.setdefault("value", UNSET)
+        super().__init__(**fields)
+
+
+class ETEntry(Entry):
+    """Evaluation-time result for one node."""
+
+    et = child(ET)
+
+
+class Attributes(Entry):
+    """Per-AST-node bundle of analysis results (paper Figure 4)."""
+
+    node_id = scalar("int")
+    se_entry = child(SEEntry)
+    bt_entry = child(BTEntry)
+    et_entry = child(ETEntry)
+
+    @classmethod
+    def fresh(cls, node_id: int) -> "Attributes":
+        """A fully wired Attributes tree for one AST node."""
+        return cls(
+            node_id=node_id,
+            se_entry=SEEntry(),
+            bt_entry=BTEntry(bt=BT()),
+            et_entry=ETEntry(et=ET()),
+        )
+
+    # -- update helpers used by the analyses -------------------------------
+    # Analyses only write when the value actually changes, so modification
+    # flags faithfully reflect fixpoint progress — this is what makes
+    # incremental checkpointing shrink as the analysis converges.
+
+    def set_side_effects(self, reads, writes) -> bool:
+        """Install side-effect sets; returns True when something changed."""
+        entry = self.se_entry
+        changed = False
+        reads = sorted(reads)
+        writes = sorted(writes)
+        if entry.reads.as_list() != reads:
+            entry.reads = reads
+            changed = True
+        if entry.writes.as_list() != writes:
+            entry.writes = writes
+            changed = True
+        return changed
+
+    def set_bt(self, value: int) -> bool:
+        """Install a binding-time annotation; returns True when it changed."""
+        bt = self.bt_entry.bt
+        if bt.value != value:
+            bt.value = value
+            return True
+        return False
+
+    def set_et(self, value: int) -> bool:
+        """Install an evaluation-time annotation; returns True when it changed."""
+        et = self.et_entry.et
+        if et.value != value:
+            et.value = value
+            return True
+        return False
+
+
+class AttributesTable(Checkpointable):
+    """Root object owning the Attributes of every node of one program.
+
+    A single checkpointable root makes crash recovery of the whole engine
+    state a one-root restore.
+    """
+
+    program_nodes = scalar("int")
+    entries = child_list(Attributes)
+
+    @classmethod
+    def for_program(cls, node_count: int) -> "AttributesTable":
+        table = cls(program_nodes=node_count)
+        table.entries.extend(Attributes.fresh(i) for i in range(node_count))
+        return table
+
+    def of(self, node) -> Attributes:
+        """The Attributes of an AST node (by its ``node_id``)."""
+        return self.entries[node.node_id]

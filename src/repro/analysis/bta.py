@@ -1,0 +1,349 @@
+"""Binding-time analysis (paper section 4.1).
+
+Classifies every expression of the analyzed program as *static*
+(computable at specialization time from the inputs declared static) or
+*dynamic*, given a :class:`Division` of the program's global variables.
+The analysis is monovariant and flow-iterated: binding times only move
+from static to dynamic, and passes repeat until no annotation changes —
+loops and (mutually) recursive functions therefore converge. Each full
+pass is one *iteration*, after which the engine takes a checkpoint (the
+paper's binding-time analysis required nine iterations on its example).
+
+Dynamic control is handled classically: an assignment under a
+dynamic-condition branch or loop makes its target dynamic, since the
+specializer cannot decide at specialization time whether it executes.
+
+Results go to ``Attributes.bt_entry.bt`` per node; the side-effect phase's
+results are read (call-induced global effects) but never written —
+exactly the phase discipline the specialized checkpointing exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.analysis.attributes import DYNAMIC, STATIC, AttributesTable
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.sideeffect import SideEffectAnalysis
+from repro.analysis.symbols import SymbolTable
+
+
+@dataclass
+class Division:
+    """Which inputs are static: the programmer-supplied division.
+
+    Globals with a literal initializer default to static; everything else
+    (notably uninitialized arrays — the program's real inputs) defaults to
+    dynamic. Explicit sets override the defaults.
+    """
+
+    static_globals: Set[str] = field(default_factory=set)
+    dynamic_globals: Set[str] = field(default_factory=set)
+
+    def initial_bt(self, decl: ast.GlobalDecl) -> int:
+        if decl.name in self.dynamic_globals:
+            return DYNAMIC
+        if decl.name in self.static_globals:
+            return STATIC
+        return STATIC if decl.init is not None else DYNAMIC
+
+
+class BindingTimeAnalysis:
+    """Monovariant, flow-iterated binding-time analysis."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        symbols: SymbolTable,
+        attributes: AttributesTable,
+        side_effects: SideEffectAnalysis,
+        division: Optional[Division] = None,
+    ) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.attributes = attributes
+        self.side_effects = side_effects
+        self.division = division or Division()
+        #: symbol id -> binding time (monotone: STATIC may become DYNAMIC)
+        self.bt: Dict[int, int] = {}
+        #: function name -> binding time of its return value
+        self.returns: Dict[str, int] = {
+            func.name: STATIC for func in program.functions
+        }
+        #: functions that may be invoked under dynamic control; their
+        #: bodies are analyzed in a dynamic context, so their writes to
+        #: static state are correctly dynamized (the specializer cannot
+        #: know how many times such a call runs)
+        self.dynamic_callers = set()
+        self.iterations = 0
+        # Entry context of the function currently being analyzed: DYNAMIC
+        # when the function may be invoked under dynamic control. Kept
+        # separate from the *internal* context threaded through _stmt so
+        # that return-value binding times reflect only internal control
+        # (the caller applies its own context at the call site).
+        self._entry_context = STATIC
+        self._seed()
+
+    def _seed(self) -> None:
+        for decl in self.program.globals:
+            self.bt[decl.symbol.symbol_id] = self.division.initial_bt(decl)
+        for func in self.program.functions:
+            for param in func.params:
+                self.bt[param.symbol.symbol_id] = STATIC
+            for name, symbol in self.symbols.function_scope(func.name).items():
+                self.bt.setdefault(symbol.symbol_id, STATIC)
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self, on_iteration: Optional[Callable[[int], None]] = None) -> int:
+        """Iterate to fixpoint; returns the number of iterations."""
+        while True:
+            changed = self._pass()
+            self.iterations += 1
+            if on_iteration is not None:
+                on_iteration(self.iterations)
+            if not changed:
+                return self.iterations
+
+    def _pass(self) -> bool:
+        changed = False
+        for decl in self.program.globals:
+            if decl.init is not None:
+                changed |= self._annotate_expr(decl.init)
+                if self._expr(decl.init) == DYNAMIC:
+                    changed |= self._raise_symbol(decl.symbol.symbol_id, DYNAMIC)
+            if self.attributes.of(decl).set_bt(self.bt[decl.symbol.symbol_id]):
+                changed = True
+        for func in self.program.functions:
+            self._entry_context = (
+                DYNAMIC if func.name in self.dynamic_callers else STATIC
+            )
+            if self._stmt(func.body, STATIC):
+                changed = True
+            self._entry_context = STATIC
+            body_bt = self._node_bt(func.body)
+            if self.attributes.of(func).set_bt(body_bt):
+                changed = True
+        return changed
+
+    def _mark_dynamic_calls(self, expr: ast.Expr, context: int) -> bool:
+        """Record callees reached from a dynamic context (transitive via
+        re-iteration: a marked function marks its own callees next pass)."""
+        if context != DYNAMIC:
+            return False
+        changed = False
+        for node in expr.walk():
+            if isinstance(node, ast.Call) and node.name not in self.dynamic_callers:
+                self.dynamic_callers.add(node.name)
+                changed = True
+        return changed
+
+    def _raise_symbol(self, symbol_id: int, bt: int) -> bool:
+        if bt == DYNAMIC and self.bt.get(symbol_id, STATIC) != DYNAMIC:
+            self.bt[symbol_id] = DYNAMIC
+            return True
+        return False
+
+    def _node_bt(self, node: ast.Node) -> int:
+        value = self.attributes.of(node).bt_entry.bt.value
+        return DYNAMIC if value == DYNAMIC else STATIC
+
+    # -- statements: return True when any annotation or symbol changed ----------
+
+    def _stmt(self, stmt: ast.Stmt, context: int) -> bool:
+        changed = False
+        if isinstance(stmt, ast.Block):
+            joined = context
+            for inner in stmt.body:
+                changed |= self._stmt(inner, context)
+                joined = max(joined, self._node_bt(inner))
+            changed |= self.attributes.of(stmt).set_bt(joined)
+        elif isinstance(stmt, ast.Decl):
+            # A declaration without an initializer assigns nothing: it
+            # contributes no binding time of its own (its default value is
+            # a constant), even under dynamic control.
+            bt = STATIC
+            if stmt.init is not None:
+                effective = max(context, self._entry_context)
+                changed |= self._annotate_expr(stmt.init)
+                changed |= self._mark_dynamic_calls(stmt.init, effective)
+                bt = max(effective, self._expr(stmt.init))
+            changed |= self._raise_symbol(stmt.symbol.symbol_id, bt)
+            changed |= self.attributes.of(stmt).set_bt(
+                self.bt[stmt.symbol.symbol_id]
+            )
+        elif isinstance(stmt, ast.Assign):
+            effective = max(context, self._entry_context)
+            changed |= self._annotate_expr(stmt.expr)
+            changed |= self._mark_dynamic_calls(stmt.expr, effective)
+            rhs = max(self._expr(stmt.expr), effective)
+            if isinstance(stmt.target, ast.VarRef):
+                target_id = stmt.target.symbol.symbol_id
+            else:
+                changed |= self._annotate_expr(stmt.target.index)
+                changed |= self._mark_dynamic_calls(stmt.target.index, effective)
+                rhs = max(rhs, self._expr(stmt.target.index))
+                target_id = stmt.target.array.symbol.symbol_id
+            changed |= self._raise_symbol(target_id, rhs)
+            changed |= self._annotate_expr(stmt.target)
+            changed |= self.attributes.of(stmt).set_bt(self.bt[target_id])
+        elif isinstance(stmt, ast.If):
+            changed |= self._annotate_expr(stmt.cond)
+            changed |= self._mark_dynamic_calls(
+                stmt.cond, max(context, self._entry_context)
+            )
+            cond = self._expr(stmt.cond)
+            inner_context = max(context, cond)
+            changed |= self._stmt(stmt.then, inner_context)
+            joined = max(cond, self._node_bt(stmt.then))
+            if stmt.orelse is not None:
+                changed |= self._stmt(stmt.orelse, inner_context)
+                joined = max(joined, self._node_bt(stmt.orelse))
+            changed |= self.attributes.of(stmt).set_bt(joined)
+        elif isinstance(stmt, ast.While):
+            changed |= self._annotate_expr(stmt.cond)
+            changed |= self._mark_dynamic_calls(
+                stmt.cond, max(context, self._entry_context)
+            )
+            cond = self._expr(stmt.cond)
+            inner_context = max(context, cond)
+            changed |= self._stmt(stmt.body, inner_context)
+            changed |= self.attributes.of(stmt).set_bt(
+                max(cond, self._node_bt(stmt.body))
+            )
+        elif isinstance(stmt, ast.For):
+            # A self-contained static for (static init/cond/step over one
+            # induction variable) keeps static control even under dynamic
+            # context: the specializer unrolls it once per residualization
+            # of the enclosing region, identically on every dynamic
+            # iteration, so its control never depends on dynamic state.
+            exempt = self.self_static_for(stmt)
+            joined = context
+            if stmt.init is not None:
+                changed |= self._induction_stmt(stmt.init, context, exempt)
+                joined = max(joined, self._node_bt(stmt.init))
+            cond = STATIC
+            if stmt.cond is not None:
+                changed |= self._annotate_expr(stmt.cond)
+                changed |= self._mark_dynamic_calls(
+                    stmt.cond, max(context, self._entry_context)
+                )
+                cond = self._expr(stmt.cond)
+            inner_context = max(context, cond)
+            if stmt.step is not None:
+                changed |= self._induction_stmt(stmt.step, inner_context, exempt)
+                joined = max(joined, self._node_bt(stmt.step))
+            changed |= self._stmt(stmt.body, inner_context)
+            joined = max(joined, cond, self._node_bt(stmt.body))
+            changed |= self.attributes.of(stmt).set_bt(joined)
+        elif isinstance(stmt, ast.Return):
+            bt = context
+            if stmt.value is not None:
+                changed |= self._annotate_expr(stmt.value)
+                changed |= self._mark_dynamic_calls(
+                    stmt.value, max(context, self._entry_context)
+                )
+                bt = max(bt, self._expr(stmt.value))
+            function = self._enclosing_function(stmt)
+            if function is not None and bt == DYNAMIC:
+                if self.returns[function] != DYNAMIC:
+                    self.returns[function] = DYNAMIC
+                    changed = True
+            changed |= self.attributes.of(stmt).set_bt(bt)
+        elif isinstance(stmt, ast.ExprStmt):
+            changed |= self._annotate_expr(stmt.expr)
+            changed |= self._mark_dynamic_calls(
+                stmt.expr, max(context, self._entry_context)
+            )
+            changed |= self.attributes.of(stmt).set_bt(self._expr(stmt.expr))
+        else:  # pragma: no cover
+            raise TypeError(f"unknown statement {stmt!r}")
+        return changed
+
+    def _induction_stmt(self, stmt: ast.Stmt, context: int, exempt: bool) -> bool:
+        """Analyze a for-loop's init/step assignment.
+
+        For a self-static loop, the unrolling argument holds regardless of
+        how the enclosing function is reached, so both the local and the
+        entry context are neutralized for the induction code.
+        """
+        if not exempt:
+            return self._stmt(stmt, context)
+        saved_entry = self._entry_context
+        self._entry_context = STATIC
+        try:
+            return self._stmt(stmt, STATIC)
+        finally:
+            self._entry_context = saved_entry
+
+    def self_static_for(self, stmt: ast.For) -> bool:
+        """Is this a self-contained static for-loop?
+
+        Requires one induction variable assigned by both init and step,
+        currently classified static, with static init/cond/step
+        expressions. Any other (dynamic-context) assignment to the
+        variable elsewhere dynamizes it through the normal rules and
+        switches the exemption off — monotonically.
+        """
+        if stmt.init is None or stmt.cond is None or stmt.step is None:
+            return False
+        if not isinstance(stmt.init.target, ast.VarRef):
+            return False
+        if not isinstance(stmt.step.target, ast.VarRef):
+            return False
+        induction = stmt.init.target.symbol.symbol_id
+        if stmt.step.target.symbol.symbol_id != induction:
+            return False
+        if self.bt.get(induction, STATIC) == DYNAMIC:
+            return False
+        return (
+            self._expr(stmt.init.expr) == STATIC
+            and self._expr(stmt.cond) == STATIC
+            and self._expr(stmt.step.expr) == STATIC
+        )
+
+    def _enclosing_function(self, stmt: ast.Return) -> Optional[str]:
+        # Return statements record into the return summary of the function
+        # whose body contains them; node ids are assigned in parse order,
+        # so the owning function is the last one starting before the node.
+        owner = None
+        for func in self.program.functions:
+            if func.node_id < stmt.node_id:
+                owner = func.name
+        return owner
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> int:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            return STATIC
+        if isinstance(expr, ast.VarRef):
+            return self.bt.get(expr.symbol.symbol_id, STATIC)
+        if isinstance(expr, ast.IndexRef):
+            return max(
+                self.bt.get(expr.array.symbol.symbol_id, STATIC),
+                self._expr(expr.index),
+            )
+        if isinstance(expr, ast.Unary):
+            return self._expr(expr.operand)
+        if isinstance(expr, ast.Binary):
+            return max(self._expr(expr.left), self._expr(expr.right))
+        if isinstance(expr, ast.Call):
+            bt = self.returns[expr.name]
+            for arg, param in zip(expr.args, expr.func.params):
+                arg_bt = self._expr(arg)
+                bt = max(bt, arg_bt)
+                self._raise_symbol(param.symbol.symbol_id, arg_bt)
+            # A call whose callee reads a dynamic global is dynamic.
+            for read in self.side_effects.summaries[expr.name].reads:
+                bt = max(bt, self.bt.get(read, STATIC))
+            return bt
+        raise TypeError(f"unknown expression {expr!r}")
+
+    def _annotate_expr(self, expr: ast.Expr) -> bool:
+        """Record annotations for an expression tree; True when changed."""
+        changed = self.attributes.of(expr).set_bt(self._expr(expr))
+        for inner in expr.children():
+            changed |= self._annotate_expr(inner)
+        return changed

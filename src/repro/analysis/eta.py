@@ -1,0 +1,299 @@
+"""Evaluation-time analysis (paper section 4.1).
+
+"Evaluation-time analysis ensures that variables referenced by the
+specialized program are properly initialized": a *static* expression may
+only be evaluated at specialization time if every variable it reads is
+*definitely* assigned a specialization-time value on every path reaching
+it. This module implements that as a forward must-analysis over each
+function body — the set of symbols definitely initialized with static
+values — with branch intersection and loop iteration to fixpoint.
+
+Each expression is annotated ``EVAL`` (safe to evaluate at specialization
+time) or ``RESIDUAL``. Dynamic expressions are always residual; a static
+expression under dynamic control is residual too (the specializer cannot
+know it executes).
+
+The analysis reads the binding-time phase's annotations and writes only
+``Attributes.et_entry.et`` — the third and last phase of the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.analysis.attributes import DYNAMIC, EVAL, RESIDUAL, STATIC, AttributesTable
+from repro.analysis.bta import BindingTimeAnalysis
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.symbols import SymbolTable
+
+_MAX_LOOP_PASSES = 64
+
+
+class EvaluationTimeAnalysis:
+    """Definite-static-initialization analysis over static expressions."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        symbols: SymbolTable,
+        attributes: AttributesTable,
+        bta: BindingTimeAnalysis,
+    ) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.attributes = attributes
+        self.bta = bta
+        #: function name -> is a static call to it evaluable at spec time
+        self.callable_summaries: Dict[str, bool] = {
+            func.name: True for func in program.functions
+        }
+        self.iterations = 0
+
+    def run(self, on_iteration: Optional[Callable[[int], None]] = None) -> int:
+        """Iterate passes until no annotation changes; returns the count."""
+        while True:
+            changed = self._pass()
+            self.iterations += 1
+            if on_iteration is not None:
+                on_iteration(self.iterations)
+            if not changed:
+                return self.iterations
+
+    # -- one pass ------------------------------------------------------------
+
+    def _initial_defined(self) -> Set[int]:
+        # Every static global is definitely initialized at specialization
+        # time: explicit initializers are static expressions, and globals
+        # without one (including arrays) hold the language's well-defined
+        # zero default.
+        return {
+            decl.symbol.symbol_id
+            for decl in self.program.globals
+            if self.bta.bt.get(decl.symbol.symbol_id, STATIC) == STATIC
+        }
+
+    def _pass(self) -> bool:
+        changed = False
+        base = self._initial_defined()
+        for decl in self.program.globals:
+            et = EVAL if decl.symbol.symbol_id in base else RESIDUAL
+            changed |= self.attributes.of(decl).set_et(et)
+            if decl.init is not None:
+                changed |= self._annotate_expr(decl.init, base, STATIC)
+        for func in self.program.functions:
+            defined = set(base)
+            # Static parameters are supplied by the specializer itself.
+            evaluable_params = True
+            for param in func.params:
+                if self.bta.bt.get(param.symbol.symbol_id, STATIC) == STATIC:
+                    defined.add(param.symbol.symbol_id)
+                else:
+                    evaluable_params = False
+            # A function reachable from dynamic control must not execute
+            # anything at specialization time (mirrors the binding-time
+            # analysis' dynamic_callers seeding).
+            base_context = (
+                DYNAMIC if func.name in self.bta.dynamic_callers else STATIC
+            )
+            out = self._stmt(func.body, defined, base_context)
+            changed |= self.attributes.of(func).set_et(
+                EVAL if self.callable_summaries[func.name] else RESIDUAL
+            )
+            summary = (
+                evaluable_params
+                and self.bta.returns[func.name] == STATIC
+                and self._body_evaluable(func.body)
+            )
+            if summary != self.callable_summaries[func.name]:
+                self.callable_summaries[func.name] = summary
+                changed = True
+            del out
+        return changed
+
+    def _body_evaluable(self, body: ast.Block) -> bool:
+        """A function is spec-time callable only if its body is fully EVAL."""
+        for node in body.walk():
+            attrs = self.attributes.of(node)
+            if attrs.et_entry.et.value == RESIDUAL:
+                return False
+        return True
+
+    # -- statements: thread the defined-set, annotate, return the out-set -----
+
+    def _stmt(self, stmt: ast.Stmt, defined: Set[int], context: int) -> Set[int]:
+        if isinstance(stmt, ast.Block):
+            out = set(defined)
+            all_eval = True
+            for inner in stmt.body:
+                out = self._stmt(inner, out, context)
+                if self.attributes.of(inner).et_entry.et.value == RESIDUAL:
+                    all_eval = False
+            self._set(stmt, EVAL if all_eval and context == STATIC else RESIDUAL)
+            return out
+        if isinstance(stmt, ast.Decl):
+            out = set(defined)
+            et = RESIDUAL
+            if stmt.init is not None:
+                self._annotate_expr(stmt.init, defined, context)
+                init_et = self.attributes.of(stmt.init).et_entry.et.value
+                if (
+                    init_et == EVAL
+                    and context == STATIC
+                    and self.bta.bt.get(stmt.symbol.symbol_id, STATIC) == STATIC
+                ):
+                    out.add(stmt.symbol.symbol_id)
+                    et = EVAL
+                else:
+                    out.discard(stmt.symbol.symbol_id)
+            self._set(stmt, et)
+            return out
+        if isinstance(stmt, ast.Assign):
+            out = set(defined)
+            self._annotate_expr(stmt.expr, defined, context)
+            rhs_et = self.attributes.of(stmt.expr).et_entry.et.value
+            if isinstance(stmt.target, ast.VarRef):
+                target_id = stmt.target.symbol.symbol_id
+                self._annotate_expr(stmt.target, defined | {target_id}, context)
+            else:
+                self._annotate_expr(stmt.target.index, defined, context)
+                self._annotate_expr(stmt.target, defined, context)
+                target_id = stmt.target.array.symbol.symbol_id
+            static_target = self.bta.bt.get(target_id, STATIC) == STATIC
+            if rhs_et == EVAL and static_target and context == STATIC:
+                out.add(target_id)
+                self._set(stmt, EVAL)
+            else:
+                out.discard(target_id)
+                self._set(stmt, RESIDUAL)
+            return out
+        if isinstance(stmt, ast.If):
+            self._annotate_expr(stmt.cond, defined, context)
+            cond_et = self.attributes.of(stmt.cond).et_entry.et.value
+            cond_bt = self._bt_of(stmt.cond)
+            inner_context = max(context, cond_bt)
+            then_out = self._stmt(stmt.then, defined, inner_context)
+            if stmt.orelse is not None:
+                else_out = self._stmt(stmt.orelse, defined, inner_context)
+            else:
+                else_out = set(defined)
+            self._set(stmt, EVAL if cond_et == EVAL and inner_context == STATIC else RESIDUAL)
+            return then_out & else_out
+        if isinstance(stmt, ast.While):
+            return self._loop(stmt, defined, context, stmt.cond, stmt.body)
+        if isinstance(stmt, ast.For):
+            # Mirror the binding-time analysis' self-static-for exemption:
+            # the control of a self-contained static loop is evaluable at
+            # specialization time even under dynamic context (the
+            # specializer unrolls it), so init/cond/step are certified in
+            # a static control context.
+            exempt = self.bta.self_static_for(stmt)
+            out = set(defined)
+            if stmt.init is not None:
+                out = self._stmt(stmt.init, out, STATIC if exempt else context)
+            return self._loop(
+                stmt,
+                out,
+                context,
+                stmt.cond,
+                stmt.body,
+                step=stmt.step,
+                exempt=exempt,
+            )
+        if isinstance(stmt, ast.Return):
+            et = EVAL if context == STATIC else RESIDUAL
+            if stmt.value is not None:
+                self._annotate_expr(stmt.value, defined, context)
+                if self.attributes.of(stmt.value).et_entry.et.value == RESIDUAL:
+                    et = RESIDUAL
+            self._set(stmt, et)
+            return set(defined)
+        if isinstance(stmt, ast.ExprStmt):
+            self._annotate_expr(stmt.expr, defined, context)
+            self._set(stmt, self.attributes.of(stmt.expr).et_entry.et.value)
+            return set(defined)
+        raise TypeError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+    def _loop(
+        self,
+        stmt: ast.Stmt,
+        defined: Set[int],
+        context: int,
+        cond: Optional[ast.Expr],
+        body: ast.Stmt,
+        step: Optional[ast.Stmt] = None,
+        exempt: bool = False,
+    ) -> Set[int]:
+        ctrl_context = STATIC if exempt else context
+        cond_bt = self._bt_of(cond) if cond is not None else STATIC
+        inner_context = max(context, cond_bt)
+        step_context = STATIC if exempt else inner_context
+        # Iterate the loop body until the defined-set stabilizes; it only
+        # shrinks (intersection with the entry state), so this terminates.
+        current = set(defined)
+        for _ in range(_MAX_LOOP_PASSES):
+            if cond is not None:
+                self._annotate_expr(cond, current, ctrl_context)
+            after = set(current)
+            after = self._stmt(body, after, inner_context)
+            if step is not None:
+                after = self._stmt(step, after, step_context)
+            merged = current & after
+            if merged == current:
+                break
+            current = merged
+        cond_et = (
+            self.attributes.of(cond).et_entry.et.value if cond is not None else EVAL
+        )
+        parts = (body,) if step is None else (body, step)
+        body_eval = all(
+            self.attributes.of(part).et_entry.et.value == EVAL for part in parts
+        )
+        self._set(
+            stmt,
+            EVAL
+            if cond_et == EVAL and body_eval and inner_context == STATIC
+            else RESIDUAL,
+        )
+        return current
+
+    # -- expressions --------------------------------------------------------------
+
+    def _bt_of(self, node: ast.Node) -> int:
+        value = self.attributes.of(node).bt_entry.bt.value
+        return DYNAMIC if value == DYNAMIC else STATIC
+
+    def _annotate_expr(self, expr: ast.Expr, defined: Set[int], context: int) -> bool:
+        changed = False
+        for inner in expr.children():
+            changed |= self._annotate_expr(inner, defined, context)
+        changed |= self._set(expr, self._expr_et(expr, defined, context))
+        return changed
+
+    def _expr_et(self, expr: ast.Expr, defined: Set[int], context: int) -> int:
+        if self._bt_of(expr) == DYNAMIC or context == DYNAMIC:
+            return RESIDUAL
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            return EVAL
+        if isinstance(expr, ast.VarRef):
+            return EVAL if expr.symbol.symbol_id in defined else RESIDUAL
+        if isinstance(expr, ast.IndexRef):
+            array_ok = expr.array.symbol.symbol_id in defined
+            index_et = self._expr_et(expr.index, defined, context)
+            return EVAL if array_ok and index_et == EVAL else RESIDUAL
+        if isinstance(expr, ast.Unary):
+            return self._expr_et(expr.operand, defined, context)
+        if isinstance(expr, ast.Binary):
+            left = self._expr_et(expr.left, defined, context)
+            right = self._expr_et(expr.right, defined, context)
+            return EVAL if left == EVAL and right == EVAL else RESIDUAL
+        if isinstance(expr, ast.Call):
+            if not self.callable_summaries[expr.name]:
+                return RESIDUAL
+            for arg in expr.args:
+                if self._expr_et(arg, defined, context) == RESIDUAL:
+                    return RESIDUAL
+            return EVAL
+        raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _set(self, node: ast.Node, value: int) -> bool:
+        return self.attributes.of(node).set_et(value)

@@ -1,0 +1,7 @@
+"""Simplified-C front end: lexer, parser, AST, and symbol resolution."""
+
+from repro.analysis.lang.astnodes import Program
+from repro.analysis.lang.lexer import LexError, tokenize
+from repro.analysis.lang.parser import ParseError, parse
+
+__all__ = ["tokenize", "LexError", "parse", "ParseError", "Program"]

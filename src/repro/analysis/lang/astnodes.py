@@ -1,0 +1,356 @@
+"""Abstract syntax tree of the simplified C treated by the analysis engine.
+
+The language mirrors the "simplified version of C" of the paper's
+prototype: global scalar and one-dimensional array declarations, function
+definitions over ``int``/``float``/``void``, structured control flow
+(``if``/``while``/``for``), assignments, and side-effect-free expressions
+plus calls. No pointers, no structs, no casts.
+
+Every node gets a program-wide sequential ``node_id`` (assigned by the
+parser) and an ``attrs`` slot where the engine installs the node's
+checkpointable :class:`~repro.analysis.attributes.Attributes`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+INT = "int"
+FLOAT = "float"
+VOID = "void"
+TYPES = (INT, FLOAT, VOID)
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    __slots__ = ("node_id", "line", "attrs")
+
+    def __init__(self, line: int) -> None:
+        self.node_id = -1  # assigned by the parser, unique per Program
+        self.line = line
+        self.attrs = None  # Attributes, installed by the engine
+
+    def children(self) -> Tuple["Node", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Node"]:
+        """Preorder traversal of this subtree."""
+        stack: List[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} line={self.line}>"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value: float) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class VarRef(Expr):
+    """A variable use; ``symbol`` is filled by symbol resolution."""
+
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, line: int, name: str) -> None:
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # Symbol, set by repro.analysis.symbols
+
+
+class IndexRef(Expr):
+    """``array[index]`` — the array is always a named variable."""
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, line: int, array: VarRef, index: Expr) -> None:
+        super().__init__(line)
+        self.array = array
+        self.index = index
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.array, self.index)
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    OPS = ("-", "!")
+
+    def __init__(self, line: int, op: str, operand: Expr) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("||", "&&", "==", "!=", "<", ">", "<=", ">=", "+", "-", "*", "/", "%")
+
+    def __init__(self, line: int, op: str, left: Expr, right: Expr) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.left, self.right)
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "func")
+
+    def __init__(self, line: int, name: str, args: List[Expr]) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.func = None  # FuncDef, set by symbol resolution
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.args)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("body",)
+
+    def __init__(self, line: int, body: List[Stmt]) -> None:
+        super().__init__(line)
+        self.body = body
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.body)
+
+
+class Decl(Stmt):
+    """Local declaration ``type name [= init];`` or ``type name[size];``."""
+
+    __slots__ = ("type", "name", "size", "init", "symbol")
+
+    def __init__(
+        self,
+        line: int,
+        type_name: str,
+        name: str,
+        size: Optional[int] = None,
+        init: Optional[Expr] = None,
+    ) -> None:
+        super().__init__(line)
+        self.type = type_name
+        self.name = name
+        self.size = size  # array size, None for scalars
+        self.init = init
+        self.symbol = None
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.init,) if self.init is not None else ()
+
+
+class Assign(Stmt):
+    """``target = expr;`` where target is a variable or array element."""
+
+    __slots__ = ("target", "expr")
+
+    def __init__(self, line: int, target: Expr, expr: Expr) -> None:
+        super().__init__(line)
+        self.target = target  # VarRef or IndexRef
+        self.expr = expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.target, self.expr)
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(
+        self, line: int, cond: Expr, then: Stmt, orelse: Optional[Stmt]
+    ) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+    def children(self) -> Tuple[Node, ...]:
+        if self.orelse is None:
+            return (self.cond, self.then)
+        return (self.cond, self.then, self.orelse)
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, line: int, cond: Expr, body: Stmt) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.cond, self.body)
+
+
+class For(Stmt):
+    """``for (init; cond; step) body`` — init/step are assignments."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(
+        self,
+        line: int,
+        init: Optional[Assign],
+        cond: Optional[Expr],
+        step: Optional[Assign],
+        body: Stmt,
+    ) -> None:
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+    def children(self) -> Tuple[Node, ...]:
+        parts: List[Node] = []
+        for part in (self.init, self.cond, self.step, self.body):
+            if part is not None:
+                parts.append(part)
+        return tuple(parts)
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value: Optional[Expr]) -> None:
+        super().__init__(line)
+        self.value = value
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.value,) if self.value is not None else ()
+
+
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (in practice: a call)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, line: int, expr: Expr) -> None:
+        super().__init__(line)
+        self.expr = expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.expr,)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+class Param(Node):
+    __slots__ = ("type", "name", "symbol")
+
+    def __init__(self, line: int, type_name: str, name: str) -> None:
+        super().__init__(line)
+        self.type = type_name
+        self.name = name
+        self.symbol = None
+
+
+class GlobalDecl(Node):
+    """Global scalar or array declaration."""
+
+    __slots__ = ("type", "name", "size", "init", "symbol")
+
+    def __init__(
+        self,
+        line: int,
+        type_name: str,
+        name: str,
+        size: Optional[int] = None,
+        init: Optional[Expr] = None,
+    ) -> None:
+        super().__init__(line)
+        self.type = type_name
+        self.name = name
+        self.size = size
+        self.init = init
+        self.symbol = None
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.init,) if self.init is not None else ()
+
+
+class FuncDef(Node):
+    __slots__ = ("ret_type", "name", "params", "body")
+
+    def __init__(
+        self,
+        line: int,
+        ret_type: str,
+        name: str,
+        params: List[Param],
+        body: Block,
+    ) -> None:
+        super().__init__(line)
+        self.ret_type = ret_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.params) + (self.body,)
+
+
+class Program(Node):
+    __slots__ = ("globals", "functions", "node_count", "source_lines")
+
+    def __init__(self, globals_: List[GlobalDecl], functions: List[FuncDef]) -> None:
+        super().__init__(0)
+        self.globals = globals_
+        self.functions = functions
+        self.node_count = 0  # filled by the parser
+        self.source_lines = 0
+
+    def children(self) -> Tuple[Node, ...]:
+        return tuple(self.globals) + tuple(self.functions)
+
+    def function(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,88 @@
+"""Lexer for the simplified C."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+KEYWORDS = ("int", "float", "void", "if", "else", "while", "for", "return")
+
+# Multi-character punctuation must be tried before single characters.
+PUNCT = (
+    "==", "!=", "<=", ">=", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "<", ">", "!",
+)
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character, with its location."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Token(NamedTuple):
+    kind: str  # "ident", "intlit", "floatlit", a keyword, punctuation, "eof"
+    value: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; the result always ends with an ``eof`` token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end == -1:
+                raise LexError("unterminated comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and source[position].isdigit():
+                position += 1
+            if position < length and source[position] == ".":
+                position += 1
+                while position < length and source[position].isdigit():
+                    position += 1
+                yield Token("floatlit", source[start:position], line)
+            else:
+                yield Token("intlit", source[start:position], line)
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (
+                source[position].isalnum() or source[position] == "_"
+            ):
+                position += 1
+            word = source[start:position]
+            yield Token(word if word in KEYWORDS else "ident", word, line)
+            continue
+        for punct in PUNCT:
+            if source.startswith(punct, position):
+                yield Token(punct, punct, line)
+                position += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line)
+    yield Token("eof", "", line)

@@ -1,0 +1,295 @@
+"""Recursive-descent parser for the simplified C.
+
+Produces a :class:`~repro.analysis.lang.astnodes.Program` with every node
+numbered (``node_id``) in parse order, which the analysis engine relies on
+when attaching per-node :class:`~repro.analysis.attributes.Attributes`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with its location."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# Binary operators by increasing precedence level.
+_PRECEDENCE = (
+    ("||",),
+    ("&&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._current.kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        if self._check(kind):
+            return self._advance()
+        token = self._current
+        raise ParseError(
+            f"expected {kind!r}, found {token.kind!r} ({token.value!r})", token.line
+        )
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FuncDef] = []
+        while not self._check("eof"):
+            type_token = self._expect_type()
+            name = self._expect("ident")
+            if self._check("("):
+                functions.append(self._function(type_token, name))
+            else:
+                globals_.append(self._global_decl(type_token, name))
+        program = ast.Program(globals_, functions)
+        self._number(program)
+        return program
+
+    def _expect_type(self) -> Token:
+        token = self._current
+        if token.kind not in ast.TYPES:
+            raise ParseError(f"expected a type, found {token.value!r}", token.line)
+        return self._advance()
+
+    def _global_decl(self, type_token: Token, name: Token) -> ast.GlobalDecl:
+        if type_token.kind == ast.VOID:
+            raise ParseError("a variable cannot have type void", type_token.line)
+        size = None
+        init = None
+        if self._accept("["):
+            size_token = self._expect("intlit")
+            size = int(size_token.value)
+            if size <= 0:
+                raise ParseError("array size must be positive", size_token.line)
+            self._expect("]")
+        elif self._accept("="):
+            init = self._expression()
+        self._expect(";")
+        return ast.GlobalDecl(type_token.line, type_token.kind, name.value, size, init)
+
+    def _function(self, type_token: Token, name: Token) -> ast.FuncDef:
+        self._expect("(")
+        params: List[ast.Param] = []
+        if not self._check(")"):
+            while True:
+                param_type = self._expect_type()
+                if param_type.kind == ast.VOID:
+                    raise ParseError(
+                        "a parameter cannot have type void", param_type.line
+                    )
+                param_name = self._expect("ident")
+                params.append(
+                    ast.Param(param_type.line, param_type.kind, param_name.value)
+                )
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        body = self._block()
+        return ast.FuncDef(type_token.line, type_token.kind, name.value, params, body)
+
+    # -- statements -------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        open_token = self._expect("{")
+        body: List[ast.Stmt] = []
+        while not self._check("}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", open_token.line)
+            body.append(self._statement())
+        self._expect("}")
+        return ast.Block(open_token.line, body)
+
+    def _statement(self) -> ast.Stmt:
+        token = self._current
+        if token.kind == "{":
+            return self._block()
+        if token.kind in (ast.INT, ast.FLOAT):
+            return self._local_decl()
+        if token.kind == "if":
+            return self._if()
+        if token.kind == "while":
+            return self._while()
+        if token.kind == "for":
+            return self._for()
+        if token.kind == "return":
+            self._advance()
+            value = None if self._check(";") else self._expression()
+            self._expect(";")
+            return ast.Return(token.line, value)
+        return self._simple_statement_semicolon()
+
+    def _local_decl(self) -> ast.Decl:
+        type_token = self._advance()
+        name = self._expect("ident")
+        size = None
+        init = None
+        if self._accept("["):
+            size_token = self._expect("intlit")
+            size = int(size_token.value)
+            if size <= 0:
+                raise ParseError("array size must be positive", size_token.line)
+            self._expect("]")
+        elif self._accept("="):
+            init = self._expression()
+        self._expect(";")
+        return ast.Decl(type_token.line, type_token.kind, name.value, size, init)
+
+    def _if(self) -> ast.If:
+        token = self._advance()
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        then = self._statement()
+        orelse = self._statement() if self._accept("else") else None
+        return ast.If(token.line, cond, then, orelse)
+
+    def _while(self) -> ast.While:
+        token = self._advance()
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        body = self._statement()
+        return ast.While(token.line, cond, body)
+
+    def _for(self) -> ast.For:
+        token = self._advance()
+        self._expect("(")
+        init = None if self._check(";") else self._simple_statement()
+        self._expect(";")
+        cond = None if self._check(";") else self._expression()
+        self._expect(";")
+        step = None if self._check(")") else self._simple_statement()
+        self._expect(")")
+        body = self._statement()
+        if init is not None and not isinstance(init, ast.Assign):
+            raise ParseError("for-init must be an assignment", token.line)
+        if step is not None and not isinstance(step, ast.Assign):
+            raise ParseError("for-step must be an assignment", token.line)
+        return ast.For(token.line, init, cond, step, body)
+
+    def _simple_statement_semicolon(self) -> ast.Stmt:
+        statement = self._simple_statement()
+        self._expect(";")
+        return statement
+
+    def _simple_statement(self) -> ast.Stmt:
+        """An assignment or an expression statement (no trailing ';')."""
+        start = self._position
+        token = self._current
+        expr = self._expression()
+        if self._check("="):
+            if not isinstance(expr, (ast.VarRef, ast.IndexRef)):
+                raise ParseError(
+                    "assignment target must be a variable or array element",
+                    token.line,
+                )
+            self._advance()
+            value = self._expression()
+            return ast.Assign(token.line, expr, value)
+        if isinstance(expr, ast.Call):
+            return ast.ExprStmt(token.line, expr)
+        self._position = start
+        raise ParseError(
+            "expected an assignment or a call statement", token.line
+        )
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expression(self, level: int = 0) -> ast.Expr:
+        if level == len(_PRECEDENCE):
+            return self._unary()
+        left = self._expression(level + 1)
+        operators = _PRECEDENCE[level]
+        while self._current.kind in operators:
+            op = self._advance()
+            right = self._expression(level + 1)
+            left = ast.Binary(op.line, op.kind, left, right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind in ("-", "!"):
+            self._advance()
+            return ast.Unary(token.line, token.kind, self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._advance()
+        if token.kind == "intlit":
+            return ast.IntLit(token.line, int(token.value))
+        if token.kind == "floatlit":
+            return ast.FloatLit(token.line, float(token.value))
+        if token.kind == "(":
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if token.kind == "ident":
+            if self._accept("("):
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return ast.Call(token.line, token.value, args)
+            var = ast.VarRef(token.line, token.value)
+            if self._accept("["):
+                index = self._expression()
+                self._expect("]")
+                return ast.IndexRef(token.line, var, index)
+            return var
+        raise ParseError(f"unexpected token {token.value!r}", token.line)
+
+    # -- numbering -------------------------------------------------------------
+
+    @staticmethod
+    def _number(program: ast.Program) -> None:
+        count = 0
+        for node in program.walk():
+            node.node_id = count
+            count += 1
+        program.node_count = count
+
+
+def parse(source: str) -> ast.Program:
+    """Parse simplified-C source into a numbered AST."""
+    program = _Parser(tokenize(source)).parse_program()
+    program.source_lines = source.count("\n") + 1
+    return program

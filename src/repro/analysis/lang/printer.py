@@ -1,0 +1,157 @@
+"""Pretty printer: simplified-C AST back to source text.
+
+Used by the mini-C specializer to emit residual programs, and generally
+handy for debugging. The output reparses to a structurally identical
+program (tested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.lang import astnodes as ast
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    ">": 4,
+    "<=": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+_UNARY_LEVEL = 7
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a whole program as source text."""
+    chunks: List[str] = []
+    for decl in program.globals:
+        chunks.append(_global_decl(decl))
+    if program.globals:
+        chunks.append("")
+    for func in program.functions:
+        chunks.append(_function(func))
+        chunks.append("")
+    return "\n".join(chunks).rstrip() + "\n"
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render one expression."""
+    return _expr(expr, 0)
+
+
+def print_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
+    """Render one statement (or block)."""
+    return "\n".join(_stmt(stmt, indent))
+
+
+def _global_decl(decl: ast.GlobalDecl) -> str:
+    if decl.size is not None:
+        return f"{decl.type} {decl.name}[{decl.size}];"
+    if decl.init is not None:
+        return f"{decl.type} {decl.name} = {_expr(decl.init, 0)};"
+    return f"{decl.type} {decl.name};"
+
+
+def _function(func: ast.FuncDef) -> str:
+    params = ", ".join(f"{p.type} {p.name}" for p in func.params)
+    lines = [f"{func.ret_type} {func.name}({params}) {{"]
+    for stmt in func.body.body:
+        lines.extend(_stmt(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _stmt(stmt: ast.Stmt, indent: int) -> List[str]:
+    pad = "    " * indent
+    if isinstance(stmt, ast.Block):
+        lines = [f"{pad}{{"]
+        for inner in stmt.body:
+            lines.extend(_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Decl):
+        if stmt.size is not None:
+            return [f"{pad}{stmt.type} {stmt.name}[{stmt.size}];"]
+        if stmt.init is not None:
+            return [f"{pad}{stmt.type} {stmt.name} = {_expr(stmt.init, 0)};"]
+        return [f"{pad}{stmt.type} {stmt.name};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{_expr(stmt.target, 0)} = {_expr(stmt.expr, 0)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({_expr(stmt.cond, 0)})"]
+        lines.extend(_braced(stmt.then, indent))
+        if stmt.orelse is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_braced(stmt.orelse, indent))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({_expr(stmt.cond, 0)})"]
+        lines.extend(_braced(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ast.For):
+        init = _inline_assign(stmt.init)
+        cond = _expr(stmt.cond, 0) if stmt.cond is not None else ""
+        step = _inline_assign(stmt.step)
+        lines = [f"{pad}for ({init}; {cond}; {step})"]
+        lines.extend(_braced(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {_expr(stmt.value, 0)};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{_expr(stmt.expr, 0)};"]
+    raise TypeError(f"cannot print statement {stmt!r}")  # pragma: no cover
+
+
+def _inline_assign(stmt) -> str:
+    if stmt is None:
+        return ""
+    return f"{_expr(stmt.target, 0)} = {_expr(stmt.expr, 0)}"
+
+
+def _braced(stmt: ast.Stmt, indent: int) -> List[str]:
+    """Render a sub-statement as a braced block (normalizes layout)."""
+    if isinstance(stmt, ast.Block):
+        return _stmt(stmt, indent)
+    pad = "    " * indent
+    return [f"{pad}{{"] + _stmt(stmt, indent + 1) + [f"{pad}}}"]
+
+
+def _expr(expr: ast.Expr, parent_level: int) -> str:
+    if isinstance(expr, ast.IntLit):
+        # Negative literals only arise from constant folding; parenthesize
+        # so "x - -1" style output stays parseable as unary minus.
+        return str(expr.value) if expr.value >= 0 else f"(0 - {-expr.value})"
+    if isinstance(expr, ast.FloatLit):
+        if expr.value >= 0:
+            return repr(float(expr.value))
+        return f"(0.0 - {repr(-float(expr.value))})"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.IndexRef):
+        return f"{expr.array.name}[{_expr(expr.index, 0)}]"
+    if isinstance(expr, ast.Unary):
+        inner = _expr(expr.operand, _UNARY_LEVEL)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_level > _UNARY_LEVEL else text
+    if isinstance(expr, ast.Binary):
+        level = _PRECEDENCE[expr.op]
+        left = _expr(expr.left, level)
+        # Right operand gets a higher threshold: our operators are parsed
+        # left-associatively, so equal-precedence on the right needs parens.
+        right = _expr(expr.right, level + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_level > level else text
+    if isinstance(expr, ast.Call):
+        args = ", ".join(_expr(a, 0) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot print expression {expr!r}")  # pragma: no cover

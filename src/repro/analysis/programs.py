@@ -1,0 +1,264 @@
+"""Generated simplified-C programs for the analysis engine.
+
+The paper analyses "a 750-line image manipulation program"; the exact
+source was never published, so :func:`image_pipeline_source` generates a
+program of the same size and flavour: global image buffers, convolution
+kernels, and a pipeline of per-pixel passes (blur, sharpen, edge
+detection, thresholding, histogram, normalization). The generator is
+deterministic, and its size knobs let tests use small instances while the
+benchmarks use the paper-scale one.
+
+The natural division for specialization: image geometry and kernel
+coefficients are static, pixel data is dynamic — so loop control is
+static while pixel arithmetic is dynamic, giving the analyses real work.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.bta import Division
+
+#: deterministic coefficient table for generated kernels
+_COEFFS = (1, 2, 1, 2, 4, 2, 1, 2, 1, 0, -1, 0, -1, 5, -1, 0, -1, 0, -1, -2)
+
+
+def image_division() -> Division:
+    """The division used when *analyzing* the generated image programs.
+
+    Geometry and thresholds static, pixel data dynamic — a realistic
+    division that gives the analyses a meaningful static/dynamic split.
+    """
+    return Division(
+        static_globals={"width", "height", "levels", "threshold_level"},
+        dynamic_globals={"img"},
+    )
+
+
+def specialization_division(kernels: int = 4) -> Division:
+    """The division used when *specializing* the generated image programs.
+
+    For residual-code generation the pixel loops must stay loops, so the
+    image geometry is declared dynamic while the convolution kernels stay
+    static — the classic "specialize the filter to its coefficients"
+    setup. (With :func:`image_division`, width/height would be static and
+    the specializer would try to fully unroll 64x64 pixel loops.)
+    """
+    static = {"levels", "threshold_level"}
+    for index in range(kernels):
+        static.add(f"kernel{index}")
+        static.add(f"kdiv{index}")
+    return Division(
+        static_globals=static,
+        dynamic_globals={
+            "width", "height", "img", "tmp", "out", "hist",
+            "min_value", "max_value", "total_luma",
+        },
+    )
+
+
+def tiny_source() -> str:
+    """A small program exercising every language construct (for tests)."""
+    return """\
+int width = 8;
+int img[64];
+int total = 0;
+
+int clamp(int v, int lo, int hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+
+int weigh(int x) {
+    return clamp(x * 2, 0, 255);
+}
+
+void accumulate() {
+    int x;
+    for (x = 0; x < width; x = x + 1) {
+        total = total + weigh(img[x]);
+    }
+}
+
+void main() {
+    int i = 0;
+    while (i < width * width) {
+        img[i] = i % 7;
+        i = i + 1;
+    }
+    accumulate();
+}
+"""
+
+
+def image_pipeline_source(kernels: int = 4, unrolled_inits: int = 6) -> str:
+    """The paper-scale image manipulation program (~750 lines).
+
+    ``kernels`` controls how many 3x3 convolution kernels (and passes)
+    are generated; ``unrolled_inits`` pads with straight-line kernel
+    initialisation code, as hand-written image code tends to have.
+    """
+    lines: List[str] = []
+    emit = lines.append
+
+    emit("// generated image manipulation pipeline")
+    emit("int width = 64;")
+    emit("int height = 64;")
+    emit("int levels = 256;")
+    emit("int threshold_level = 128;")
+    emit("int img[4096];")
+    emit("int tmp[4096];")
+    emit("int out[4096];")
+    emit("int hist[256];")
+    emit("int min_value = 0;")
+    emit("int max_value = 0;")
+    emit("int total_luma = 0;")
+    for k in range(kernels):
+        emit(f"int kernel{k}[9];")
+        emit(f"int kdiv{k} = 1;")
+    emit("")
+
+    emit("int clamp(int v, int lo, int hi) {")
+    emit("    if (v < lo) { return lo; }")
+    emit("    if (v > hi) { return hi; }")
+    emit("    return v;")
+    emit("}")
+    emit("")
+    emit("int at(int x, int y) {")
+    emit("    return y * width + x;")
+    emit("}")
+    emit("")
+    emit("int get_img(int x, int y) {")
+    emit("    return img[at(clamp(x, 0, width - 1), clamp(y, 0, height - 1))];")
+    emit("}")
+    emit("")
+    emit("int get_tmp(int x, int y) {")
+    emit("    return tmp[at(clamp(x, 0, width - 1), clamp(y, 0, height - 1))];")
+    emit("}")
+    emit("")
+
+    for k in range(kernels):
+        emit(f"void init_kernel{k}() {{")
+        total = 0
+        for cell in range(9):
+            coeff = _COEFFS[(k * 3 + cell) % len(_COEFFS)]
+            total += coeff
+            emit(f"    kernel{k}[{cell}] = {coeff};")
+        emit(f"    kdiv{k} = {max(total, 1)};")
+        for pad in range(unrolled_inits):
+            emit(f"    kernel{k}[{pad % 9}] = kernel{k}[{pad % 9}] * 1;")
+        emit("}")
+        emit("")
+
+    for k in range(kernels):
+        emit(f"int apply_kernel{k}(int x, int y) {{")
+        emit("    int acc = 0;")
+        emit("    int dx;")
+        emit("    int dy;")
+        emit("    for (dy = 0; dy < 3; dy = dy + 1) {")
+        emit("        for (dx = 0; dx < 3; dx = dx + 1) {")
+        emit(
+            f"            acc = acc + kernel{k}[dy * 3 + dx] * "
+            "get_img(x + dx - 1, y + dy - 1);"
+        )
+        emit("        }")
+        emit("    }")
+        emit(f"    return clamp(acc / kdiv{k}, 0, levels - 1);")
+        emit("}")
+        emit("")
+        emit(f"void convolve{k}() {{")
+        emit("    int x;")
+        emit("    int y;")
+        emit("    for (y = 0; y < height; y = y + 1) {")
+        emit("        for (x = 0; x < width; x = x + 1) {")
+        emit(f"            tmp[at(x, y)] = apply_kernel{k}(x, y);")
+        emit("        }")
+        emit("    }")
+        emit("    for (y = 0; y < height; y = y + 1) {")
+        emit("        for (x = 0; x < width; x = x + 1) {")
+        emit("            img[at(x, y)] = tmp[at(x, y)];")
+        emit("        }")
+        emit("    }")
+        emit("}")
+        emit("")
+
+    emit("void compute_histogram() {")
+    emit("    int i;")
+    emit("    for (i = 0; i < levels; i = i + 1) {")
+    emit("        hist[i] = 0;")
+    emit("    }")
+    emit("    for (i = 0; i < width * height; i = i + 1) {")
+    emit("        hist[clamp(img[i], 0, levels - 1)] = "
+         "hist[clamp(img[i], 0, levels - 1)] + 1;")
+    emit("    }")
+    emit("}")
+    emit("")
+    emit("void find_extrema() {")
+    emit("    int i;")
+    emit("    min_value = levels - 1;")
+    emit("    max_value = 0;")
+    emit("    for (i = 0; i < width * height; i = i + 1) {")
+    emit("        if (img[i] < min_value) { min_value = img[i]; }")
+    emit("        if (img[i] > max_value) { max_value = img[i]; }")
+    emit("    }")
+    emit("}")
+    emit("")
+    emit("void normalize_image() {")
+    emit("    int i;")
+    emit("    int span;")
+    emit("    find_extrema();")
+    emit("    span = max_value - min_value;")
+    emit("    if (span < 1) { span = 1; }")
+    emit("    for (i = 0; i < width * height; i = i + 1) {")
+    emit("        img[i] = (img[i] - min_value) * (levels - 1) / span;")
+    emit("    }")
+    emit("}")
+    emit("")
+    emit("void apply_threshold() {")
+    emit("    int i;")
+    emit("    for (i = 0; i < width * height; i = i + 1) {")
+    emit("        if (img[i] < threshold_level) {")
+    emit("            out[i] = 0;")
+    emit("        } else {")
+    emit("            out[i] = levels - 1;")
+    emit("        }")
+    emit("    }")
+    emit("}")
+    emit("")
+    emit("void measure_luma() {")
+    emit("    int i;")
+    emit("    total_luma = 0;")
+    emit("    for (i = 0; i < width * height; i = i + 1) {")
+    emit("        total_luma = total_luma + img[i];")
+    emit("    }")
+    emit("}")
+    emit("")
+    emit("void load_test_image() {")
+    emit("    int x;")
+    emit("    int y;")
+    emit("    for (y = 0; y < height; y = y + 1) {")
+    emit("        for (x = 0; x < width; x = x + 1) {")
+    emit("            img[at(x, y)] = (x * 31 + y * 17) % levels;")
+    emit("        }")
+    emit("    }")
+    emit("}")
+    emit("")
+    emit("void main() {")
+    emit("    load_test_image();")
+    for k in range(kernels):
+        emit(f"    init_kernel{k}();")
+    for k in range(kernels):
+        emit(f"    convolve{k}();")
+    emit("    compute_histogram();")
+    emit("    normalize_image();")
+    emit("    measure_luma();")
+    emit("    apply_threshold();")
+    emit("}")
+    emit("")
+    return "\n".join(lines)
+
+
+def paper_scale_source() -> str:
+    """The configuration whose size matches the paper's 750-line program."""
+    return image_pipeline_source(kernels=11, unrolled_inits=15)

@@ -1,0 +1,203 @@
+"""Side-effect analysis (paper section 4.1).
+
+Computes, for every AST node, the sets of variables read and written by
+the execution of that node's subtree — including the effects of called
+functions, restricted to global variables (parameters are passed by value
+and locals die with their frame). Function summaries are iterated to a
+fixpoint over the (possibly recursive) call graph; each full pass over the
+program is one *iteration*, after which the engine takes a checkpoint.
+
+Results are written into each node's ``Attributes.se_entry`` as two sorted
+identifier lists; writes happen only when a set actually changed, so the
+modification flags trace fixpoint progress.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.analysis.attributes import AttributesTable
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.symbols import Symbol, SymbolTable
+
+Effects = Tuple[Set[int], Set[int]]  # (reads, writes)
+
+
+class FunctionSummary:
+    """Global-variable effects of calling one function."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: Set[int] = set()
+        self.writes: Set[int] = set()
+
+    def update(self, reads: Set[int], writes: Set[int]) -> bool:
+        changed = not (reads <= self.reads and writes <= self.writes)
+        self.reads |= reads
+        self.writes |= writes
+        return changed
+
+
+class SideEffectAnalysis:
+    """Interprocedural read/write-set analysis."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        symbols: SymbolTable,
+        attributes: AttributesTable,
+    ) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.attributes = attributes
+        self.summaries: Dict[str, FunctionSummary] = {
+            func.name: FunctionSummary() for func in program.functions
+        }
+        self.iterations = 0
+
+    def run(self, on_iteration: Optional[Callable[[int], None]] = None) -> int:
+        """Iterate to fixpoint; returns the number of iterations.
+
+        ``on_iteration`` is invoked after every full pass (the engine's
+        checkpoint hook). At least two passes always run: the pass that
+        reaches the fixpoint and the pass that verifies it.
+        """
+        while True:
+            changed = self._pass()
+            self.iterations += 1
+            if on_iteration is not None:
+                on_iteration(self.iterations)
+            if not changed:
+                return self.iterations
+
+    # -- one pass ------------------------------------------------------------
+
+    def _pass(self) -> bool:
+        changed = False
+        for decl in self.program.globals:
+            reads: Set[int] = set()
+            if decl.init is not None:
+                expr_reads, _ = self._expr(decl.init)
+                reads |= expr_reads
+            if self.attributes.of(decl).set_side_effects(reads, {decl.symbol.symbol_id}):
+                changed = True
+        for func in self.program.functions:
+            reads, writes = self._stmt(func.body)
+            if self.attributes.of(func).set_side_effects(
+                self._globals_only(reads), self._globals_only(writes)
+            ):
+                changed = True
+            if self.summaries[func.name].update(
+                self._globals_only(reads), self._globals_only(writes)
+            ):
+                changed = True
+        return changed
+
+    def _globals_only(self, ids: Set[int]) -> Set[int]:
+        return {i for i in ids if self.symbols.symbol(i).kind == Symbol.GLOBAL}
+
+    # -- statements -------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> Effects:
+        if isinstance(stmt, ast.Block):
+            reads: Set[int] = set()
+            writes: Set[int] = set()
+            for inner in stmt.body:
+                inner_reads, inner_writes = self._stmt(inner)
+                reads |= inner_reads
+                writes |= inner_writes
+        elif isinstance(stmt, ast.Decl):
+            reads, writes = set(), {stmt.symbol.symbol_id}
+            if stmt.init is not None:
+                init_reads, init_writes = self._expr(stmt.init)
+                reads |= init_reads
+                writes |= init_writes
+        elif isinstance(stmt, ast.Assign):
+            reads, writes = self._expr(stmt.expr)
+            if isinstance(stmt.target, ast.VarRef):
+                writes = writes | {stmt.target.symbol.symbol_id}
+                self._record(stmt.target, set(), {stmt.target.symbol.symbol_id})
+            else:  # IndexRef: the index is read, the array written
+                index_reads, index_writes = self._expr(stmt.target.index)
+                reads |= index_reads
+                writes = writes | index_writes | {stmt.target.array.symbol.symbol_id}
+                self._record(
+                    stmt.target,
+                    index_reads,
+                    {stmt.target.array.symbol.symbol_id},
+                )
+        elif isinstance(stmt, ast.If):
+            reads, writes = self._expr(stmt.cond)
+            then_reads, then_writes = self._stmt(stmt.then)
+            reads |= then_reads
+            writes |= then_writes
+            if stmt.orelse is not None:
+                else_reads, else_writes = self._stmt(stmt.orelse)
+                reads |= else_reads
+                writes |= else_writes
+        elif isinstance(stmt, ast.While):
+            reads, writes = self._expr(stmt.cond)
+            body_reads, body_writes = self._stmt(stmt.body)
+            reads |= body_reads
+            writes |= body_writes
+        elif isinstance(stmt, ast.For):
+            reads, writes = set(), set()
+            for part in (stmt.init, stmt.step):
+                if part is not None:
+                    part_reads, part_writes = self._stmt(part)
+                    reads |= part_reads
+                    writes |= part_writes
+            if stmt.cond is not None:
+                cond_reads, cond_writes = self._expr(stmt.cond)
+                reads |= cond_reads
+                writes |= cond_writes
+            body_reads, body_writes = self._stmt(stmt.body)
+            reads |= body_reads
+            writes |= body_writes
+        elif isinstance(stmt, ast.Return):
+            reads, writes = (
+                self._expr(stmt.value) if stmt.value is not None else (set(), set())
+            )
+        elif isinstance(stmt, ast.ExprStmt):
+            reads, writes = self._expr(stmt.expr)
+        else:  # pragma: no cover - parser produces no other statements
+            raise TypeError(f"unknown statement {stmt!r}")
+        self._record(stmt, reads, writes)
+        return reads, writes
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> Effects:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            reads, writes = set(), set()
+        elif isinstance(expr, ast.VarRef):
+            reads, writes = {expr.symbol.symbol_id}, set()
+        elif isinstance(expr, ast.IndexRef):
+            index_reads, index_writes = self._expr(expr.index)
+            reads = index_reads | {expr.array.symbol.symbol_id}
+            writes = index_writes
+            self._record(expr.array, {expr.array.symbol.symbol_id}, set())
+        elif isinstance(expr, ast.Unary):
+            reads, writes = self._expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            left_reads, left_writes = self._expr(expr.left)
+            right_reads, right_writes = self._expr(expr.right)
+            reads = left_reads | right_reads
+            writes = left_writes | right_writes
+        elif isinstance(expr, ast.Call):
+            reads, writes = set(), set()
+            for arg in expr.args:
+                arg_reads, arg_writes = self._expr(arg)
+                reads |= arg_reads
+                writes |= arg_writes
+            summary = self.summaries[expr.name]
+            reads |= summary.reads
+            writes |= summary.writes
+        else:  # pragma: no cover
+            raise TypeError(f"unknown expression {expr!r}")
+        self._record(expr, reads, writes)
+        return reads, writes
+
+    def _record(self, node: ast.Node, reads: Set[int], writes: Set[int]) -> None:
+        self.attributes.of(node).set_side_effects(reads, writes)

@@ -1,0 +1,610 @@
+"""A program specializer for the simplified C, driven by the analyses.
+
+This completes the Tempo analog: the side-effect, binding-time and
+evaluation-time analyses of this package exist (as in the paper, section
+4.1) to drive program specialization — and this module is the specializer
+they drive. Given an analyzed program and its division of inputs, it
+performs offline polyvariant partial evaluation:
+
+- expressions certified ``EVAL`` by the evaluation-time analysis are
+  computed at specialization time and replaced by literals;
+- statically-controlled conditionals are decided; statically-bounded
+  loops are unrolled (with a residual-size budget);
+- fully static statements and calls are executed at specialization time
+  (e.g. kernel-initialization code disappears into folded coefficients);
+- dynamic calls are replaced by calls to *specialized versions* of their
+  callees — one residual function per (callee, static-argument values)
+  pair, cached, with dynamic arguments as the remaining parameters.
+
+The result is a residual program in the same language, so it can be
+re-parsed, re-analyzed, printed, and — crucially — *executed by the
+reference interpreter*, which is how the test suite certifies the whole
+analysis stack: for every dynamic input, the residual program's
+observable state must equal the original's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.attributes import DYNAMIC, EVAL, STATIC, AttributesTable
+from repro.analysis.bta import BindingTimeAnalysis
+from repro.analysis.eta import EvaluationTimeAnalysis
+from repro.analysis.interp import Interpreter, InterpreterError
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.lang.printer import print_program
+from repro.analysis.symbols import SymbolTable
+from repro.core.errors import SpecializationError
+
+
+class SpecializationBudgetError(SpecializationError):
+    """Residual code grew past the configured budget (runaway unrolling)."""
+
+
+class ResidualProgram:
+    """The output of specialization."""
+
+    def __init__(self, program: ast.Program, source: str) -> None:
+        self.program = program
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResidualProgram({self.source.count(chr(10)) + 1} lines)"
+
+
+class MiniCSpecializer:
+    """Offline polyvariant partial evaluator for analyzed programs."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        symbols: SymbolTable,
+        attributes: AttributesTable,
+        bta: BindingTimeAnalysis,
+        eta: EvaluationTimeAnalysis,
+        side_effects=None,
+        max_residual_statements: int = 50_000,
+        fuel: int = 5_000_000,
+    ) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.attributes = attributes
+        self.bta = bta
+        self.eta = eta
+        self.side_effects = side_effects
+        self.max_residual_statements = max_residual_statements
+        self._emitted_statements = 0
+
+        # The specialization-time evaluator: an interpreter whose global
+        # state plays the role of the static store. EVAL-certified code
+        # only ever touches static, definitely-initialized state, so the
+        # dynamic globals' placeholder zeros in here are never consulted.
+        self._interp = Interpreter(program, symbols, fuel=fuel)
+        self._interp._init_globals()
+
+        #: specialized function versions: cache key -> residual name
+        self._version_names: Dict[Tuple, str] = {}
+        self._version_funcs: List[ast.FuncDef] = []
+        self._version_counter = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _et(self, node: ast.Node) -> int:
+        return self.attributes.of(node).et_entry.et.value
+
+    def _bt(self, node: ast.Node) -> int:
+        value = self.attributes.of(node).bt_entry.bt.value
+        return DYNAMIC if value == DYNAMIC else STATIC
+
+    def _budget(self, amount: int = 1) -> None:
+        self._emitted_statements += amount
+        if self._emitted_statements > self.max_residual_statements:
+            raise SpecializationBudgetError(
+                "residual program exceeds "
+                f"{self.max_residual_statements} statements; a statically "
+                "bounded loop is being unrolled too far — declare its "
+                "bound dynamic in the Division"
+            )
+
+    def _eval(self, expr: ast.Expr, env: Dict[int, Any]) -> Any:
+        try:
+            return self._interp._eval(expr, env)
+        except KeyError as exc:  # pragma: no cover - would be an ETA bug
+            raise SpecializationError(
+                f"evaluation-time analysis certified an expression whose "
+                f"variable is missing at specialization time: {exc}"
+            )
+
+    @staticmethod
+    def _literal(line: int, value: Any) -> ast.Expr:
+        if isinstance(value, bool):  # bools are ints in this language
+            return ast.IntLit(line, int(value))
+        if isinstance(value, int):
+            return ast.IntLit(line, value)
+        if isinstance(value, float):
+            return ast.FloatLit(line, value)
+        raise SpecializationError(f"cannot residualize value {value!r}")
+
+    # -- entry point ---------------------------------------------------------
+
+    def specialize(self, entry: str = "main") -> ResidualProgram:
+        """Specialize the program starting from ``entry``.
+
+        The residual program keeps the dynamic globals (with their
+        initializers), contains one specialized version per residual
+        callee reached, and an ``entry``-named driver.
+        """
+        entry_func = self.symbols.functions.get(entry)
+        if entry_func is None:
+            raise SpecializationError(f"no function named {entry!r}")
+        body = self._spec_stmt_list(entry_func.body.body, {})
+        main_func = ast.FuncDef(
+            0, entry_func.ret_type, entry, [], ast.Block(0, body)
+        )
+
+        globals_: List[ast.GlobalDecl] = []
+        for decl in self.program.globals:
+            if self.bta.bt[decl.symbol.symbol_id] == DYNAMIC:
+                init = None
+                if decl.init is not None:
+                    init = self._residualize(decl.init, {})
+                globals_.append(
+                    ast.GlobalDecl(0, decl.type, decl.name, decl.size, init)
+                )
+        residual = ast.Program(globals_, self._version_funcs + [main_func])
+        self._renumber(residual)
+        return ResidualProgram(residual, print_program(residual))
+
+    @staticmethod
+    def _renumber(program: ast.Program) -> None:
+        count = 0
+        for node in program.walk():
+            node.node_id = count
+            count += 1
+        program.node_count = count
+
+    # -- statements -------------------------------------------------------------
+
+    def _spec_stmt_list(
+        self, stmts: List[ast.Stmt], env: Dict[int, Any]
+    ) -> List[ast.Stmt]:
+        out: List[ast.Stmt] = []
+        for stmt in stmts:
+            out.extend(self._spec_stmt(stmt, env))
+            # A statically decided return makes everything after it dead;
+            # specializing it anyway would be wrong (and, for recursive
+            # functions, non-terminating).
+            if out and isinstance(out[-1], ast.Return):
+                break
+        return out
+
+    def _spec_stmt(self, stmt: ast.Stmt, env: Dict[int, Any]) -> List[ast.Stmt]:
+        if isinstance(stmt, ast.Block):
+            # Blocks carry no scope of their own after specialization
+            # (symbols were resolved already); flatten them away.
+            return self._spec_stmt_list(stmt.body, env)
+
+        if isinstance(stmt, ast.Decl):
+            return self._spec_decl(stmt, env)
+
+        if isinstance(stmt, ast.Assign):
+            return self._spec_assign(stmt, env)
+
+        if isinstance(stmt, ast.If):
+            return self._spec_if(stmt, env)
+
+        if isinstance(stmt, ast.While):
+            return self._spec_while(stmt, env)
+
+        if isinstance(stmt, ast.For):
+            return self._spec_for(stmt, env)
+
+        if isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._residualize(stmt.value, env)
+            self._budget()
+            return [ast.Return(stmt.line, value)]
+
+        if isinstance(stmt, ast.ExprStmt):
+            expr = stmt.expr
+            if self._et(expr) == EVAL:
+                self._eval(expr, env)  # executed at specialization time
+                return []
+            if isinstance(expr, ast.Call):
+                self._budget()
+                return [ast.ExprStmt(stmt.line, self._residual_call(expr, env))]
+            # An effect-free residual expression statement is dead code.
+            return []
+
+        raise SpecializationError(f"cannot specialize {stmt!r}")  # pragma: no cover
+
+    def _spec_decl(self, stmt: ast.Decl, env: Dict[int, Any]) -> List[ast.Stmt]:
+        symbol = stmt.symbol
+        static_var = self.bta.bt.get(symbol.symbol_id, STATIC) == STATIC
+        if static_var and not symbol.is_array:
+            # Executed at specialization time; later uses fold to literals.
+            if stmt.init is not None and self._et(stmt) == EVAL:
+                env[symbol.symbol_id] = self._eval(stmt.init, env)
+            elif stmt.init is None:
+                env[symbol.symbol_id] = 0.0 if stmt.type == ast.FLOAT else 0
+            else:
+                # Static variable whose initializer is not evaluable here
+                # (dynamic context): it must live residually.
+                self._budget()
+                return [
+                    ast.Decl(
+                        stmt.line,
+                        stmt.type,
+                        stmt.name,
+                        None,
+                        self._residualize(stmt.init, env),
+                    )
+                ]
+            return []
+        if static_var and symbol.is_array:
+            raise SpecializationError(
+                f"static local array {stmt.name!r} is not supported; make "
+                "it a global or declare it dynamic"
+            )
+        init = self._residualize(stmt.init, env) if stmt.init is not None else None
+        self._budget()
+        return [ast.Decl(stmt.line, stmt.type, stmt.name, stmt.size, init)]
+
+    def _spec_assign(self, stmt: ast.Assign, env: Dict[int, Any]) -> List[ast.Stmt]:
+        if self._et(stmt) == EVAL:
+            value = self._eval(stmt.expr, env)
+            target = stmt.target
+            if isinstance(target, ast.VarRef):
+                if target.symbol.kind == "global":
+                    self._interp.globals[target.symbol.symbol_id] = value
+                else:
+                    env[target.symbol.symbol_id] = value
+            else:  # static array element with a static index
+                array = self._interp.globals.get(
+                    target.array.symbol.symbol_id
+                )
+                if array is None:
+                    raise SpecializationError(
+                        f"static array {target.array.name!r} is not global"
+                    )
+                index = self._eval(target.index, env)
+                array[index] = value
+            return []
+        rhs = self._residualize(stmt.expr, env)
+        executed = self._execute_if_static_target(stmt.target, rhs, env)
+        if executed:
+            return []
+        self._budget()
+        return [
+            ast.Assign(stmt.line, self._residual_target(stmt.target, env), rhs)
+        ]
+
+    def _execute_if_static_target(
+        self, target: ast.Expr, rhs: ast.Expr, env: Dict[int, Any]
+    ) -> bool:
+        """Perform a folded assignment to static state at specialization time.
+
+        The ETA can refuse to certify an assignment whose right-hand side
+        later folds anyway (e.g. a pure call the purity rule evaluates).
+        If the target is still static, the binding-time analysis
+        guarantees the assignment is not under dynamic control, so
+        executing it now is sound — and emitting it would reference a
+        static variable absent from the residual program.
+        """
+        if not isinstance(rhs, (ast.IntLit, ast.FloatLit)):
+            return False
+        if isinstance(target, ast.VarRef):
+            symbol = target.symbol
+            if self.bta.bt.get(symbol.symbol_id, STATIC) != STATIC:
+                return False
+            if symbol.kind == "global":
+                self._interp.globals[symbol.symbol_id] = rhs.value
+            else:
+                env[symbol.symbol_id] = rhs.value
+            return True
+        if isinstance(target, ast.IndexRef):
+            symbol = target.array.symbol
+            if self.bta.bt.get(symbol.symbol_id, STATIC) != STATIC:
+                return False
+            index = self._residualize(target.index, env)
+            if not isinstance(index, ast.IntLit) or symbol.kind != "global":
+                return False
+            array = self._interp.globals[symbol.symbol_id]
+            if not 0 <= index.value < len(array):
+                return False
+            array[index.value] = rhs.value
+            return True
+        return False
+
+    def _spec_if(self, stmt: ast.If, env: Dict[int, Any]) -> List[ast.Stmt]:
+        if self._et(stmt.cond) == EVAL and self._et(stmt) == EVAL:
+            branch = (
+                stmt.then
+                if self._interp._truthy(self._eval(stmt.cond, env))
+                else stmt.orelse
+            )
+            return self._spec_stmt(branch, env) if branch is not None else []
+        cond = self._residualize(stmt.cond, env)
+        if isinstance(cond, (ast.IntLit, ast.FloatLit)):
+            # The condition folded to a constant after all (e.g. a pure
+            # static call under dynamic control): decide the branch.
+            branch = stmt.then if cond.value != 0 else stmt.orelse
+            return self._spec_stmt(branch, env) if branch is not None else []
+        then = ast.Block(stmt.line, self._spec_stmt(stmt.then, env))
+        orelse = None
+        if stmt.orelse is not None:
+            orelse_body = self._spec_stmt(stmt.orelse, env)
+            orelse = ast.Block(stmt.line, orelse_body) if orelse_body else None
+        self._budget()
+        return [ast.If(stmt.line, cond, then, orelse)]
+
+    def _spec_while(self, stmt: ast.While, env: Dict[int, Any]) -> List[ast.Stmt]:
+        if self._et(stmt.cond) == EVAL and self._bt(stmt.cond) == STATIC:
+            # Statically bounded loop: unroll at specialization time.
+            out: List[ast.Stmt] = []
+            while self._interp._truthy(self._eval(stmt.cond, env)):
+                out.extend(self._spec_stmt(stmt.body, env))
+                if out and isinstance(out[-1], ast.Return):
+                    return out  # a statically decided return ends the loop
+            return out
+        self._budget()
+        body = ast.Block(stmt.line, self._spec_stmt(stmt.body, env))
+        return [ast.While(stmt.line, self._residualize(stmt.cond, env), body)]
+
+    def _spec_for(self, stmt: ast.For, env: Dict[int, Any]) -> List[ast.Stmt]:
+        static_control = (
+            (stmt.cond is None or
+             (self._et(stmt.cond) == EVAL and self._bt(stmt.cond) == STATIC))
+            and (stmt.init is None or self._et(stmt.init) == EVAL)
+            and (stmt.step is None or self._et(stmt.step) == EVAL)
+        )
+        if static_control and stmt.cond is not None:
+            out: List[ast.Stmt] = []
+            if stmt.init is not None:
+                out.extend(self._spec_stmt(stmt.init, env))
+            while self._interp._truthy(self._eval(stmt.cond, env)):
+                out.extend(self._spec_stmt(stmt.body, env))
+                if out and isinstance(out[-1], ast.Return):
+                    return out  # a statically decided return ends the loop
+                if stmt.step is not None:
+                    out.extend(self._spec_stmt(stmt.step, env))
+            return out
+        # Residual loop: init/step may still be executable or must be kept.
+        out = []
+        init = None
+        if stmt.init is not None:
+            residual_init = self._spec_stmt(stmt.init, env)
+            if len(residual_init) == 1 and isinstance(residual_init[0], ast.Assign):
+                init = residual_init[0]
+            else:
+                out.extend(residual_init)
+        step = None
+        if stmt.step is not None:
+            residual_step = self._spec_stmt(stmt.step, env)
+            if len(residual_step) == 1 and isinstance(residual_step[0], ast.Assign):
+                step = residual_step[0]
+            else:
+                raise SpecializationError(
+                    "for-step of a residual loop must stay an assignment"
+                )
+        cond = (
+            self._residualize(stmt.cond, env) if stmt.cond is not None else None
+        )
+        body = ast.Block(stmt.line, self._spec_stmt(stmt.body, env))
+        self._budget()
+        out.append(ast.For(stmt.line, init, cond, step, body))
+        return out
+
+    # -- expressions --------------------------------------------------------------
+
+    def _residual_target(self, target: ast.Expr, env: Dict[int, Any]) -> ast.Expr:
+        if isinstance(target, ast.VarRef):
+            return ast.VarRef(target.line, target.name)
+        return ast.IndexRef(
+            target.line,
+            ast.VarRef(target.array.line, target.array.name),
+            self._residualize(target.index, env),
+        )
+
+    def _residualize(self, expr: ast.Expr, env: Dict[int, Any]) -> ast.Expr:
+        """Rebuild ``expr`` with every evaluable part folded to a literal."""
+        if self._et(expr) == EVAL:
+            return self._literal(expr.line, self._eval(expr, env))
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            return self._literal(expr.line, expr.value)
+        if isinstance(expr, ast.VarRef):
+            # A static scalar referenced in a residual position whose value
+            # is known folds here even though the ETA context was dynamic
+            # (its value cannot change under dynamic control — BTA).
+            symbol = expr.symbol
+            if self.bta.bt.get(symbol.symbol_id, STATIC) == STATIC and not symbol.is_array:
+                if symbol.symbol_id in env:
+                    return self._literal(expr.line, env[symbol.symbol_id])
+                if symbol.kind == "global":
+                    return self._literal(
+                        expr.line, self._interp.globals[symbol.symbol_id]
+                    )
+            return ast.VarRef(expr.line, expr.name)
+        if isinstance(expr, ast.IndexRef):
+            symbol = expr.array.symbol
+            index = self._residualize(expr.index, env)
+            if (
+                self.bta.bt.get(symbol.symbol_id, STATIC) == STATIC
+                and isinstance(index, ast.IntLit)
+                and symbol.kind == "global"
+            ):
+                array = self._interp.globals[symbol.symbol_id]
+                if 0 <= index.value < len(array):
+                    return self._literal(expr.line, array[index.value])
+            if self.bta.bt.get(symbol.symbol_id, STATIC) == STATIC:
+                raise SpecializationError(
+                    f"static array {expr.array.name!r} indexed dynamically; "
+                    "declare it dynamic in the Division to keep it residual"
+                )
+            return ast.IndexRef(
+                expr.line, ast.VarRef(expr.array.line, expr.array.name), index
+            )
+        if isinstance(expr, ast.Unary):
+            return self._fold(
+                ast.Unary(expr.line, expr.op, self._residualize(expr.operand, env))
+            )
+        if isinstance(expr, ast.Binary):
+            return self._fold(
+                ast.Binary(
+                    expr.line,
+                    expr.op,
+                    self._residualize(expr.left, env),
+                    self._residualize(expr.right, env),
+                )
+            )
+        if isinstance(expr, ast.Call):
+            folded = self._try_fold_call(expr, env)
+            if folded is not None:
+                return folded
+            return self._residual_call(expr, env)
+        raise SpecializationError(f"cannot residualize {expr!r}")  # pragma: no cover
+
+    def _is_pure(self, name: str) -> bool:
+        if self.side_effects is None:
+            return False
+        summary = self.side_effects.summaries.get(name)
+        return summary is not None and not summary.writes
+
+    def _try_fold_call(self, call: ast.Call, env) -> Optional[ast.Expr]:
+        """Evaluate a pure, static call whose arguments all fold.
+
+        Such a call is a constant even when it occurs under dynamic
+        control (the ETA conservatively marked it residual there): purity
+        means evaluating it once at specialization time has no effects,
+        and a static binding time means it reads only static state.
+        """
+        if self._bt(call) != STATIC or not self._is_pure(call.name):
+            return None
+        values = []
+        for arg in call.args:
+            folded = self._residualize(arg, env)
+            if not isinstance(folded, (ast.IntLit, ast.FloatLit)):
+                return None
+            values.append(folded.value)
+        try:
+            result = self._interp.call(call.name, values)
+        except InterpreterError:
+            return None  # let the residual program fault at run time
+        return self._literal(call.line, result)
+
+    def _fold(self, expr: ast.Expr) -> ast.Expr:
+        """Constant-fold an operator node whose operands became literals.
+
+        Folding happens when earlier residualization turned static
+        variables into literals (e.g. unrolled induction variables inside
+        residual expressions). Faulting operations (division by zero) are
+        left residual so run-time semantics are preserved.
+        """
+        operands = (
+            (expr.operand,) if isinstance(expr, ast.Unary) else (expr.left, expr.right)
+        )
+        if all(isinstance(o, (ast.IntLit, ast.FloatLit)) for o in operands):
+            try:
+                value = self._interp._eval(expr, {})
+            except InterpreterError:
+                return expr
+            return self._literal(expr.line, value)
+        if isinstance(expr, ast.Binary):
+            return self._fold_identity(expr)
+        return expr
+
+    @staticmethod
+    def _fold_identity(expr: ast.Binary) -> ast.Expr:
+        """Integer identity simplifications (x+0, x*1, ...), safe for ints."""
+        left, right = expr.left, expr.right
+        if isinstance(right, ast.IntLit):
+            if right.value == 0 and expr.op in ("+", "-"):
+                return left
+            if right.value == 1 and expr.op in ("*", "/"):
+                return left
+        if isinstance(left, ast.IntLit):
+            if left.value == 0 and expr.op == "+":
+                return right
+            if left.value == 1 and expr.op == "*":
+                return right
+        return expr
+
+    # -- polyvariant function specialization -----------------------------------------
+
+    def _residual_call(self, call: ast.Call, env: Dict[int, Any]) -> ast.Call:
+        callee = call.func
+        static_bindings: List[Tuple[int, Any]] = []
+        dynamic_args: List[ast.Expr] = []
+        dynamic_params: List[ast.Param] = []
+        for index, (arg, param) in enumerate(zip(call.args, callee.params)):
+            if self.bta.bt.get(param.symbol.symbol_id, STATIC) == STATIC:
+                # The parameter is static at *every* call site (BTA joins
+                # them), so the argument must fold to a literal — even
+                # when this call sits under dynamic control and the ETA
+                # therefore marked the argument residual.
+                folded = self._residualize(arg, env)
+                if not isinstance(folded, (ast.IntLit, ast.FloatLit)):
+                    raise SpecializationError(
+                        f"argument {index} of {callee.name!r} is bound to a "
+                        "static parameter but did not fold to a constant"
+                    )
+                static_bindings.append((index, folded.value))
+            else:
+                dynamic_args.append(self._residualize(arg, env))
+                dynamic_params.append(param)
+        version = self._version_for(callee, tuple(static_bindings), dynamic_params)
+        return ast.Call(call.line, version, dynamic_args)
+
+    def _static_global_digest(self) -> Tuple:
+        values = []
+        for name in sorted(self.symbols.globals):
+            symbol = self.symbols.globals[name]
+            if self.bta.bt.get(symbol.symbol_id, STATIC) == STATIC:
+                value = self._interp.globals[symbol.symbol_id]
+                values.append((name, tuple(value) if isinstance(value, list) else value))
+        return tuple(values)
+
+    def _version_for(
+        self,
+        callee: ast.FuncDef,
+        static_bindings: Tuple,
+        dynamic_params: List[ast.Param],
+    ) -> str:
+        key = (callee.name, static_bindings, self._static_global_digest())
+        cached = self._version_names.get(key)
+        if cached is not None:
+            return cached
+        self._version_counter += 1
+        name = f"{callee.name}__s{self._version_counter}"
+        self._version_names[key] = name  # registered first: recursion-safe
+
+        callee_env: Dict[int, Any] = {}
+        bound = dict(static_bindings)
+        for index, param in enumerate(callee.params):
+            if index in bound:
+                callee_env[param.symbol.symbol_id] = bound[index]
+        body = self._spec_stmt_list(callee.body.body, callee_env)
+        params = [
+            ast.Param(0, param.type, param.name) for param in dynamic_params
+        ]
+        self._version_funcs.append(
+            ast.FuncDef(0, callee.ret_type, name, params, ast.Block(0, body))
+        )
+        return name
+
+
+def specialize_program(engine, entry: str = "main", **kwargs) -> ResidualProgram:
+    """Specialize the program an :class:`AnalysisEngine` has analyzed.
+
+    The engine must have been run (its BTA/ETA annotations populated).
+    """
+    return MiniCSpecializer(
+        engine.program,
+        engine.symbols,
+        engine.attributes,
+        engine.bta,
+        engine.eta,
+        side_effects=engine.side_effects,
+        **kwargs,
+    ).specialize(entry)

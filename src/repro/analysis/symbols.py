@@ -1,0 +1,241 @@
+"""Symbol resolution for the simplified C.
+
+Assigns a program-wide numeric identifier to every distinct variable
+(globals, and each function's parameters and locals) and links variable
+references, declarations and calls to their symbols. The numeric ids are
+what the side-effect analysis records in the checkpointable ``SEEntry``
+lists (the paper's "Id" boxes in Figure 4).
+
+Scoping is C-like: one global scope, one flat scope per function (block
+shadowing is rejected rather than silently supported — the analyses are
+simpler, and the generated benchmark programs never shadow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.lang import astnodes as ast
+
+
+class SemanticError(Exception):
+    """Raised when a program fails symbol resolution or simple type checks."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Symbol:
+    """One named variable (scalar or array) of the analyzed program."""
+
+    __slots__ = ("symbol_id", "name", "type", "kind", "is_array", "function")
+
+    GLOBAL = "global"
+    PARAM = "param"
+    LOCAL = "local"
+
+    def __init__(
+        self,
+        symbol_id: int,
+        name: str,
+        type_name: str,
+        kind: str,
+        is_array: bool,
+        function: Optional[str],
+    ) -> None:
+        self.symbol_id = symbol_id
+        self.name = name
+        self.type = type_name
+        self.kind = kind
+        self.is_array = is_array
+        self.function = function  # owning function name, None for globals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scope = self.function or "<global>"
+        return f"Symbol({self.symbol_id}, {scope}.{self.name}, {self.kind})"
+
+
+class SymbolTable:
+    """All symbols of one program, plus the function index."""
+
+    def __init__(self) -> None:
+        self.symbols: List[Symbol] = []
+        self.globals: Dict[str, Symbol] = {}
+        self.functions: Dict[str, ast.FuncDef] = {}
+        self._per_function: Dict[str, Dict[str, Symbol]] = {}
+
+    def _new_symbol(
+        self,
+        name: str,
+        type_name: str,
+        kind: str,
+        is_array: bool,
+        function: Optional[str],
+    ) -> Symbol:
+        symbol = Symbol(len(self.symbols), name, type_name, kind, is_array, function)
+        self.symbols.append(symbol)
+        return symbol
+
+    def symbol(self, symbol_id: int) -> Symbol:
+        return self.symbols[symbol_id]
+
+    def function_scope(self, name: str) -> Dict[str, Symbol]:
+        return self._per_function[name]
+
+    def global_ids(self) -> List[int]:
+        return [s.symbol_id for s in self.globals.values()]
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+
+def resolve(program: ast.Program) -> SymbolTable:
+    """Resolve every name of ``program``; returns the populated table.
+
+    Raises :class:`SemanticError` on duplicate declarations, unknown
+    names, calls to undefined functions, arity mismatches, indexing of
+    non-arrays, or assignment to whole arrays.
+    """
+    table = SymbolTable()
+
+    for decl in program.globals:
+        if decl.name in table.globals:
+            raise SemanticError(f"duplicate global {decl.name!r}", decl.line)
+        symbol = table._new_symbol(
+            decl.name, decl.type, Symbol.GLOBAL, decl.size is not None, None
+        )
+        table.globals[decl.name] = symbol
+        decl.symbol = symbol
+
+    for func in program.functions:
+        if func.name in table.functions:
+            raise SemanticError(f"duplicate function {func.name!r}", func.line)
+        if func.name in table.globals:
+            raise SemanticError(
+                f"{func.name!r} is both a global and a function", func.line
+            )
+        table.functions[func.name] = func
+
+    for func in program.functions:
+        scope: Dict[str, Symbol] = {}
+        table._per_function[func.name] = scope
+        for param in func.params:
+            if param.name in scope:
+                raise SemanticError(f"duplicate parameter {param.name!r}", param.line)
+            symbol = table._new_symbol(
+                param.name, param.type, Symbol.PARAM, False, func.name
+            )
+            scope[param.name] = symbol
+            param.symbol = symbol
+        _resolve_stmt(func.body, func, scope, table)
+
+    # Resolve initializers of globals (they may only use literals and
+    # previously declared globals).
+    for decl in program.globals:
+        if decl.init is not None:
+            _resolve_expr(decl.init, None, {}, table)
+
+    return table
+
+
+def _resolve_stmt(
+    stmt: ast.Stmt,
+    func: ast.FuncDef,
+    scope: Dict[str, Symbol],
+    table: SymbolTable,
+) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.body:
+            _resolve_stmt(inner, func, scope, table)
+    elif isinstance(stmt, ast.Decl):
+        if stmt.name in scope:
+            raise SemanticError(
+                f"duplicate local {stmt.name!r} in {func.name}", stmt.line
+            )
+        symbol = table._new_symbol(
+            stmt.name, stmt.type, Symbol.LOCAL, stmt.size is not None, func.name
+        )
+        scope[stmt.name] = symbol
+        stmt.symbol = symbol
+        if stmt.init is not None:
+            _resolve_expr(stmt.init, func, scope, table)
+    elif isinstance(stmt, ast.Assign):
+        _resolve_expr(stmt.target, func, scope, table)
+        _resolve_expr(stmt.expr, func, scope, table)
+        if isinstance(stmt.target, ast.VarRef) and stmt.target.symbol.is_array:
+            raise SemanticError(
+                f"cannot assign to whole array {stmt.target.name!r}", stmt.line
+            )
+    elif isinstance(stmt, ast.If):
+        _resolve_expr(stmt.cond, func, scope, table)
+        _resolve_stmt(stmt.then, func, scope, table)
+        if stmt.orelse is not None:
+            _resolve_stmt(stmt.orelse, func, scope, table)
+    elif isinstance(stmt, ast.While):
+        _resolve_expr(stmt.cond, func, scope, table)
+        _resolve_stmt(stmt.body, func, scope, table)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            _resolve_stmt(stmt.init, func, scope, table)
+        if stmt.cond is not None:
+            _resolve_expr(stmt.cond, func, scope, table)
+        if stmt.step is not None:
+            _resolve_stmt(stmt.step, func, scope, table)
+        _resolve_stmt(stmt.body, func, scope, table)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            _resolve_expr(stmt.value, func, scope, table)
+        if func.ret_type == ast.VOID and stmt.value is not None:
+            raise SemanticError(f"{func.name} returns void", stmt.line)
+    elif isinstance(stmt, ast.ExprStmt):
+        _resolve_expr(stmt.expr, func, scope, table)
+    else:  # pragma: no cover - parser produces no other statements
+        raise SemanticError(f"unknown statement {stmt!r}", stmt.line)
+
+
+def _resolve_expr(
+    expr: ast.Expr,
+    func: Optional[ast.FuncDef],
+    scope: Dict[str, Symbol],
+    table: SymbolTable,
+) -> None:
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return
+    if isinstance(expr, ast.VarRef):
+        symbol = scope.get(expr.name) or table.globals.get(expr.name)
+        if symbol is None:
+            where = func.name if func is not None else "<global initializer>"
+            raise SemanticError(f"unknown variable {expr.name!r} in {where}", expr.line)
+        expr.symbol = symbol
+        return
+    if isinstance(expr, ast.IndexRef):
+        _resolve_expr(expr.array, func, scope, table)
+        if not expr.array.symbol.is_array:
+            raise SemanticError(
+                f"{expr.array.name!r} is not an array", expr.line
+            )
+        _resolve_expr(expr.index, func, scope, table)
+        return
+    if isinstance(expr, ast.Unary):
+        _resolve_expr(expr.operand, func, scope, table)
+        return
+    if isinstance(expr, ast.Binary):
+        _resolve_expr(expr.left, func, scope, table)
+        _resolve_expr(expr.right, func, scope, table)
+        return
+    if isinstance(expr, ast.Call):
+        callee = table.functions.get(expr.name)
+        if callee is None:
+            raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(callee.params):
+            raise SemanticError(
+                f"{expr.name} expects {len(callee.params)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        expr.func = callee
+        for arg in expr.args:
+            _resolve_expr(arg, func, scope, table)
+        return
+    raise SemanticError(f"unknown expression {expr!r}", expr.line)

@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Run ``python -m repro.bench all`` (or name individual experiments:
+``table1``, ``fig7`` … ``fig11``, ``table2``). Each experiment builds the
+paper's workload, measures every checkpointing variant on identical
+modification states, and prints the same rows/series the paper reports —
+speedups from the calibrated abstract-machine backends plus CPython
+wall-clock as an independent, real measurement.
+"""
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+)
+from repro.bench.reporting import ExperimentResult
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "table1",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ExperimentResult",
+]

@@ -1,0 +1,55 @@
+"""CLI entry point: ``python -m repro.bench [experiments...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"which experiments to run: {', '.join(ALL_EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the synthetic experiments at the paper's 20,000 structures",
+    )
+    parser.add_argument(
+        "--structures",
+        type=int,
+        default=None,
+        help="override the synthetic population size",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or ["all"]
+    if "all" in names:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](
+            paper_scale=args.paper_scale, structures=args.structures
+        )
+        result.print()
+        print(f"[{name} completed in {time.perf_counter() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

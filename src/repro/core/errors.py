@@ -1,0 +1,43 @@
+"""Exception hierarchy for the checkpointing framework."""
+
+
+class CheckpointError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SchemaError(CheckpointError):
+    """A checkpointable class was declared incorrectly.
+
+    Raised at class-definition time (bad field kind, name collision, …) or
+    when an operation is attempted on a class with no registered schema.
+    """
+
+
+class CycleError(CheckpointError):
+    """A cycle was found in a structure assumed to be acyclic.
+
+    The paper (section 2) assumes checkpointed compound structures contain
+    no cycles; the checking driver and :meth:`repro.spec.shape.Shape.of`
+    raise this error instead of looping forever.
+    """
+
+
+class RestoreError(CheckpointError):
+    """A checkpoint stream could not be decoded back into objects."""
+
+
+class StorageError(CheckpointError):
+    """A durable checkpoint store is missing, corrupt, or inconsistent."""
+
+
+class SpecializationError(CheckpointError):
+    """The specializer was given inconsistent or unusable declarations."""
+
+
+class PatternViolationError(CheckpointError):
+    """At run time, an object declared quiescent was found modified.
+
+    Only raised by guarded specialized checkpointers (``guards=True``); the
+    unguarded ones trust the programmer-supplied specialization classes,
+    exactly as the paper does.
+    """

@@ -1,0 +1,45 @@
+"""Per-object checkpoint metadata (paper Figure 1, ``CheckpointInfo``).
+
+Every checkpointable object owns exactly one :class:`CheckpointInfo`,
+holding its process-wide unique identifier and its modification flag. The
+flag is set by every field assignment (see :mod:`repro.core.fields`) and
+reset when the object's local state is recorded into a checkpoint.
+"""
+
+from __future__ import annotations
+
+from repro.core.ids import DEFAULT_ALLOCATOR, IdAllocator
+
+
+class CheckpointInfo:
+    """Identifier and modification flag of one checkpointable object.
+
+    A freshly created object is marked modified (paper Figure 1): it has
+    never been recorded, so the next incremental checkpoint must capture
+    it in full.
+    """
+
+    __slots__ = ("object_id", "modified")
+
+    def __init__(
+        self,
+        object_id: int | None = None,
+        modified: bool = True,
+        allocator: IdAllocator | None = None,
+    ) -> None:
+        if object_id is None:
+            object_id = (allocator or DEFAULT_ALLOCATOR).allocate()
+        self.object_id = object_id
+        self.modified = modified
+
+    def set_modified(self) -> None:
+        """Mark the owning object as modified since the last checkpoint."""
+        self.modified = True
+
+    def reset_modified(self) -> None:
+        """Clear the flag, typically right after recording the object."""
+        self.modified = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "modified" if self.modified else "clean"
+        return f"CheckpointInfo(id={self.object_id}, {state})"

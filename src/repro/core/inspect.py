@@ -1,0 +1,139 @@
+"""Human-readable inspection of checkpoint streams and stores.
+
+Debugging aid: decodes the wire format of :mod:`repro.core.checkpointable`
+into structured entry descriptions without materializing objects, and
+renders them as text. Also usable as a command line::
+
+    python -m repro.core.inspect <store-directory>
+    python -m repro.core.inspect <epoch-file.ckpt>
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
+from repro.core.streams import DataInputStream
+
+
+class EntryView(NamedTuple):
+    """One decoded checkpoint entry."""
+
+    object_id: int
+    class_name: str
+    fields: Dict[str, Any]
+    byte_size: int
+
+
+def decode_stream(
+    data: bytes, registry: Optional[ClassRegistry] = None
+) -> List[EntryView]:
+    """Decode every entry of a checkpoint stream.
+
+    Child references are rendered as ``"@<id>"`` strings (or None);
+    scalar lists as plain lists. Raises
+    :class:`~repro.core.errors.RestoreError` on malformed input.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    inp = DataInputStream(data)
+    entries: List[EntryView] = []
+    while not inp.at_eof:
+        start = inp.position
+        object_id = inp.read_int32()
+        serial = inp.read_int32()
+        cls = registry.class_for(serial)
+        fields: Dict[str, Any] = {}
+        for spec in registry.schema_of(cls):
+            if spec.role == "scalar":
+                fields[spec.name] = _read_scalar(inp, spec.kind)
+            elif spec.role == "scalar_list":
+                count = inp.read_int32()
+                fields[spec.name] = [
+                    _read_scalar(inp, spec.kind) for _ in range(count)
+                ]
+            elif spec.role == "child":
+                child_id = inp.read_int32()
+                fields[spec.name] = None if child_id == -1 else f"@{child_id}"
+            else:  # child_list
+                count = inp.read_int32()
+                fields[spec.name] = [f"@{inp.read_int32()}" for _ in range(count)]
+        entries.append(
+            EntryView(object_id, cls.__name__, fields, inp.position - start)
+        )
+    return entries
+
+
+def _read_scalar(inp: DataInputStream, kind: str) -> Any:
+    if kind == "int":
+        return inp.read_int32()
+    if kind == "float":
+        return inp.read_float64()
+    if kind == "bool":
+        return inp.read_bool()
+    return inp.read_str()
+
+
+def render_stream(
+    data: bytes, registry: Optional[ClassRegistry] = None, limit: int = 0
+) -> str:
+    """A text report of a checkpoint stream (``limit`` caps the entries)."""
+    entries = decode_stream(data, registry)
+    shown = entries if limit <= 0 else entries[:limit]
+    lines = [f"{len(entries)} entries, {len(data)} bytes"]
+    for entry in shown:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in entry.fields.items())
+        lines.append(
+            f"  #{entry.object_id} {entry.class_name} ({entry.byte_size}B): "
+            f"{rendered}"
+        )
+    if len(shown) < len(entries):
+        lines.append(f"  ... {len(entries) - len(shown)} more")
+    return "\n".join(lines)
+
+
+def render_store(directory: str, limit: int = 5) -> str:
+    """A text report of a file-backed store: epochs, kinds, sizes, heads."""
+    from repro.core.storage import FileStore
+
+    store = FileStore(directory)
+    epochs = store.epochs()
+    lines = [f"store {directory}: {len(epochs)} intact epochs"]
+    for epoch in epochs:
+        entries = decode_stream(epoch.data)
+        lines.append(
+            f"epoch {epoch.index} [{epoch.kind}] {len(epoch.data)}B, "
+            f"{len(entries)} entries"
+        )
+        for entry in entries[:limit]:
+            lines.append(f"    #{entry.object_id} {entry.class_name}")
+        if len(entries) > limit:
+            lines.append(f"    ... {len(entries) - limit} more")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI wrapper
+    import argparse
+    import os
+
+    parser = argparse.ArgumentParser(description="Inspect checkpoint data.")
+    parser.add_argument("target", help="a store directory or one epoch file")
+    parser.add_argument("--limit", type=int, default=10)
+    args = parser.parse_args(argv)
+    if os.path.isdir(args.target):
+        print(render_store(args.target, args.limit))
+    else:
+        from repro.core.storage import FileStore
+
+        decoded = FileStore._read_epoch(args.target)
+        if decoded is None:
+            print("unreadable or torn epoch file")
+            return 1
+        print(f"[{decoded[0]}]")
+        print(render_stream(decoded[1], limit=args.limit))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

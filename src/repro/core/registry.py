@@ -1,0 +1,116 @@
+"""Class metadata registry.
+
+Every checkpointable class registers itself here at definition time. The
+registry maps classes to:
+
+- a stable *class serial* written into checkpoint entries so that restore
+  can re-instantiate objects of the right class, and
+- the class *schema*: the ordered list of declared fields (inherited
+  fields first, mirroring the paper's ``super().record()`` call order).
+
+A :class:`ClassRegistry` also knows how to translate serials across runs:
+a durable store records the ``{class qualname: serial}`` map in its
+manifest, and :meth:`ClassRegistry.serial_translation` reconciles it with
+the live registry when recovering in a fresh process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import RestoreError, SchemaError
+from repro.core.fields import FieldSpec
+
+
+class ClassRegistry:
+    """Bidirectional class ↔ serial map plus per-class schemas."""
+
+    def __init__(self) -> None:
+        self._by_serial: Dict[int, type] = {}
+        self._by_name: Dict[str, type] = {}
+        self._serials: Dict[type, int] = {}
+        self._schemas: Dict[type, List[FieldSpec]] = {}
+        self._next_serial = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, cls: type, schema: List[FieldSpec]) -> int:
+        """Register ``cls`` with its flattened schema; returns its serial."""
+        name = self._qualname(cls)
+        if name in self._by_name and self._by_name[name] is not cls:
+            raise SchemaError(
+                f"two distinct checkpointable classes share the name {name!r}; "
+                "give them distinct module-level names"
+            )
+        if cls in self._serials:
+            return self._serials[cls]
+        serial = self._next_serial
+        self._next_serial += 1
+        self._by_serial[serial] = cls
+        self._by_name[name] = cls
+        self._serials[cls] = serial
+        self._schemas[cls] = schema
+        return serial
+
+    @staticmethod
+    def _qualname(cls: type) -> str:
+        return f"{cls.__module__}.{cls.__qualname__}"
+
+    # -- lookups -----------------------------------------------------------
+
+    def serial_of(self, cls: type) -> int:
+        """The serial assigned to ``cls`` (raises if unregistered)."""
+        try:
+            return self._serials[cls]
+        except KeyError:
+            raise SchemaError(f"{cls!r} is not a registered checkpointable class")
+
+    def class_for(self, serial: int) -> type:
+        """The class registered under ``serial``."""
+        try:
+            return self._by_serial[serial]
+        except KeyError:
+            raise RestoreError(f"unknown class serial {serial} in checkpoint")
+
+    def class_by_name(self, name: str) -> Optional[type]:
+        """Look a class up by its registered qualified name."""
+        return self._by_name.get(name)
+
+    def schema_of(self, cls: type) -> List[FieldSpec]:
+        """The flattened field schema of ``cls``."""
+        try:
+            return self._schemas[cls]
+        except KeyError:
+            raise SchemaError(f"{cls!r} is not a registered checkpointable class")
+
+    def name_to_serial(self) -> Dict[str, int]:
+        """Snapshot ``{qualified name: serial}``, suitable for a manifest."""
+        return {self._qualname(cls): s for s, cls in self._by_serial.items()}
+
+    def serial_translation(self, manifest: Dict[str, int]) -> Dict[int, int]:
+        """Map serials recorded in ``manifest`` to serials in this registry.
+
+        Raises :class:`RestoreError` when the manifest names a class that no
+        longer exists in the running program.
+        """
+        translation: Dict[int, int] = {}
+        for name, old_serial in manifest.items():
+            cls = self._by_name.get(name)
+            if cls is None:
+                raise RestoreError(
+                    f"checkpoint references class {name!r}, which is not "
+                    "defined in this process"
+                )
+            translation[old_serial] = self._serials[cls]
+        return translation
+
+    def __contains__(self, cls: type) -> bool:
+        return cls in self._serials
+
+    def __len__(self) -> int:
+        return len(self._serials)
+
+
+#: Process-wide default registry; checkpointable classes register here
+#: automatically unless they set ``_ckpt_registry`` in the class body.
+DEFAULT_REGISTRY = ClassRegistry()

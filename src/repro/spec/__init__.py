@@ -1,0 +1,34 @@
+"""Program specializer for checkpointing code (paper section 3, JSpec analog).
+
+The generic checkpointing algorithm — the :class:`~repro.core.checkpoint.Checkpoint`
+driver plus the per-class ``record``/``fold`` methods — is re-expressed here
+in a small imperative IR (:mod:`repro.spec.templates`). Given
+
+- a :class:`~repro.spec.shape.Shape` (structural facts: the exact class of
+  every node of a recurring compound structure), and
+- a :class:`~repro.spec.modpattern.ModificationPattern` (which nodes may be
+  modified during a given program phase),
+
+a binding-time analysis (:mod:`repro.spec.bta`) annotates the IR
+static/dynamic, and an offline partial evaluator (:mod:`repro.spec.pe`)
+unfolds it into a monolithic residual program: virtual calls are replaced by
+inlined code, modification tests on quiescent objects are folded away, and
+the traversal of completely unmodified subtrees disappears entirely —
+exactly the transformations of the paper's Figures 5 and 6. The residual IR
+is emitted as Python source and compiled (:mod:`repro.spec.codegen`).
+"""
+
+from repro.spec.autospec import AutoSpecializer, PatternObserver
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Shape
+from repro.spec.specclass import SpecClass, SpecCompiler, SpecializedCheckpointer
+
+__all__ = [
+    "Shape",
+    "ModificationPattern",
+    "SpecClass",
+    "SpecCompiler",
+    "SpecializedCheckpointer",
+    "PatternObserver",
+    "AutoSpecializer",
+]

@@ -1,0 +1,606 @@
+"""The offline partial evaluator (paper section 3).
+
+:class:`Specializer` unfolds the generic checkpointing algorithm
+(:mod:`repro.spec.templates`) against a :class:`~repro.spec.shape.Shape`
+and a :class:`~repro.spec.modpattern.ModificationPattern`, following the
+binding-time annotations computed by :mod:`repro.spec.bta`:
+
+- virtual ``record``/``fold``/``checkpoint`` calls whose receiver class is
+  static are *unfolded* (inlined, with the callee body specialized in the
+  caller's context) — this removes every virtual call;
+- ``if info.modified`` tests on positions declared quiescent *reduce* to
+  their (empty) false branch — this removes tests and record blocks;
+- the recursive traversal of a subtree in which no position may be
+  modified produces no residual code at all — this removes whole
+  traversals (the paper's Figure 6 effect);
+- child-list iterations with a statically known length are *unrolled*.
+
+The evaluator asserts, at every expression, that its decision agrees with
+the binding-time annotation — a disagreement would be a specializer bug
+and raises :class:`~repro.core.errors.SpecializationError`.
+
+The result is residual IR: a flat, monolithic program over fresh local
+variables (``n0, n1, …`` for objects, ``i0, i1, …`` for their info
+records), exactly the style of the paper's Figure 5. A final
+dead-assignment pass removes bindings whose uses were all specialized
+away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import SpecializationError
+from repro.spec import bta, ir, templates
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Shape, ShapeNode
+
+
+# ---------------------------------------------------------------------------
+# Abstract (specialization-time) values
+# ---------------------------------------------------------------------------
+
+
+class AbsVal:
+    """Base class of specialization-time values."""
+
+    tag = "?"
+
+
+class SVal(AbsVal):
+    """Fully static value."""
+
+    tag = "S"
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class DVal(AbsVal):
+    """Dynamic value with its residual expression."""
+
+    tag = "D"
+
+    def __init__(self, expr: ir.Expr) -> None:
+        self.expr = expr
+
+
+class PSObj(AbsVal):
+    """Partially static object: known shape node, run-time identity."""
+
+    tag = "PS"
+
+    def __init__(self, node: ShapeNode, expr: ir.Expr) -> None:
+        self.node = node
+        self.expr = expr
+
+
+class PSInfo(AbsVal):
+    """CheckpointInfo of a partially static object."""
+
+    tag = "PSINFO"
+
+    def __init__(self, node: ShapeNode, expr: ir.Expr) -> None:
+        self.node = node
+        self.expr = expr
+
+
+class PSList(AbsVal):
+    """Child list of a partially static object."""
+
+    tag = "PSLIST"
+
+    def __init__(self, node: ShapeNode, field: str, expr: ir.Expr) -> None:
+        self.node = node
+        self.field = field
+        self.expr = expr
+
+
+class DriverVal(AbsVal):
+    tag = "DRIVER"
+
+
+class OutVal(AbsVal):
+    tag = "OUT"
+
+
+_DRIVER = DriverVal()
+_OUT = OutVal()
+
+
+def _bt_of(val: AbsVal) -> bta.BTVal:
+    if isinstance(val, SVal):
+        return bta.S
+    if isinstance(val, DVal):
+        return bta.D
+    if isinstance(val, PSObj):
+        return bta.ps(val.node)
+    if isinstance(val, PSInfo):
+        return bta.psinfo(val.node)
+    if isinstance(val, PSList):
+        return bta.pslist(val.node, val.field)
+    if isinstance(val, DriverVal):
+        return bta.DRIVER
+    return bta.OUT
+
+
+def _field_spec(node: ShapeNode, slot: str):
+    for spec in node.cls._ckpt_schema:
+        if spec.slot == slot:
+            return spec
+    raise SpecializationError(
+        f"class {node.cls.__name__} has no checkpointable slot {slot!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The specializer
+# ---------------------------------------------------------------------------
+
+
+class Specializer:
+    """Specialize the generic checkpoint algorithm for one shape + pattern."""
+
+    def __init__(
+        self,
+        shape: Shape,
+        pattern: Optional[ModificationPattern] = None,
+        guards: bool = False,
+        cleanup: bool = True,
+    ) -> None:
+        self.shape = shape
+        self.pattern = pattern or ModificationPattern.all_dynamic(shape)
+        if self.pattern.shape is not shape:
+            raise SpecializationError("pattern was built for a different shape")
+        self.guards = guards
+        #: run the dead-binding elimination pass (off only for ablations)
+        self.cleanup = cleanup
+        self._fresh_counts: Dict[str, int] = {}
+
+    # -- entry point ---------------------------------------------------------
+
+    def specialize(self) -> ir.Seq:
+        """Residual program over free variables ``root`` and ``out``."""
+        root = PSObj(self.shape.root, ir.Var("root"))
+        body = self._unfold_checkpoint(root)
+        residual = ir.Seq(body)
+        if self.cleanup:
+            residual = eliminate_dead_assigns(residual)
+        return residual
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        count = self._fresh_counts.get(prefix, 0)
+        self._fresh_counts[prefix] = count + 1
+        return f"{prefix}{count}"
+
+    def _unfold_checkpoint(self, obj: PSObj) -> List[ir.Stmt]:
+        """Specialize one ``ckpt.checkpoint(obj)`` call."""
+        # A completely quiescent subtree leaves no residual code: no test,
+        # no record, no traversal (paper Figure 6 / section 3.2). In
+        # guarded mode the subtree's *root* flag is still checked — one
+        # test instead of a traversal — so the common violation (the
+        # skipped object itself was written) is detected; violations
+        # confined to deeper nodes of a skipped subtree are only caught by
+        # offline validation (ModificationPattern.validate_against).
+        if not self.pattern.subtree_may_be_modified(obj.node):
+            if self.guards:
+                return [
+                    ir.Guard(
+                        ir.Not(
+                            ir.FieldGet(
+                                ir.FieldGet(obj.expr, "_ckpt_info"), "modified"
+                            )
+                        ),
+                        f"subtree at {obj.node.path!r} was declared quiescent "
+                        "but its root is modified",
+                    )
+                ]
+            return []
+        out: List[ir.Stmt] = []
+        # Bind the receiver to a local when it is reached through a
+        # non-trivial access path, so the residual program names every
+        # visited object once (Figure 5 style).
+        if not isinstance(obj.expr, ir.Var):
+            name = self._fresh("n")
+            out.append(ir.Assign(name, obj.expr))
+            obj = PSObj(obj.node, ir.Var(name))
+        if self.guards:
+            out.append(
+                ir.Guard(
+                    ir.ClassIs(obj.expr, obj.node.cls),
+                    f"object at {obj.node.path!r} is not a "
+                    f"{obj.node.cls.__name__}",
+                )
+            )
+            if not self.pattern.node_may_be_modified(obj.node):
+                out.append(
+                    ir.Guard(
+                        ir.Not(
+                            ir.FieldGet(
+                                ir.FieldGet(obj.expr, "_ckpt_info"), "modified"
+                            )
+                        ),
+                        f"object at {obj.node.path!r} was declared quiescent "
+                        "but is modified",
+                    )
+                )
+        template = templates.checkpoint_ir()
+        env: Dict[str, AbsVal] = {"o": obj, "out": _OUT, "ckpt": _DRIVER}
+        self._annotate(template, env)
+        out.extend(self._spec_stmt(template, env))
+        return out
+
+    def _annotate(self, stmt: ir.Stmt, env: Dict[str, AbsVal]) -> None:
+        bt_env = {name: _bt_of(value) for name, value in env.items()}
+        bta.annotate(stmt, bta.BTContext(bt_env, self.pattern))
+
+    def _check(self, expr: ir.Expr, value: AbsVal) -> AbsVal:
+        expected = expr.bt
+        # The BTA marks unfoldable calls "UNFOLD"; those never reach here.
+        if expected is not None and expected != value.tag:
+            raise SpecializationError(
+                f"binding-time disagreement at {expr!r}: "
+                f"BTA said {expected}, evaluator computed {value.tag}"
+            )
+        return value
+
+    # -- statements -------------------------------------------------------------
+
+    def _spec_stmt(self, stmt: ir.Stmt, env: Dict[str, AbsVal]) -> List[ir.Stmt]:
+        if isinstance(stmt, ir.Seq):
+            out: List[ir.Stmt] = []
+            for inner in stmt.stmts:
+                out.extend(self._spec_stmt(inner, env))
+            return out
+
+        if isinstance(stmt, ir.Assign):
+            value = self._spec_expr(stmt.expr, env)
+            if isinstance(value, SVal):
+                env[stmt.name] = value
+                return []
+            prefix = "i" if isinstance(value, PSInfo) else (
+                "n" if isinstance(value, PSObj) else (
+                    "L" if isinstance(value, PSList) else "t"
+                )
+            )
+            name = self._fresh(prefix)
+            residual_expr = value.expr
+            rebound: AbsVal
+            if isinstance(value, PSObj):
+                rebound = PSObj(value.node, ir.Var(name))
+            elif isinstance(value, PSInfo):
+                rebound = PSInfo(value.node, ir.Var(name))
+            elif isinstance(value, PSList):
+                rebound = PSList(value.node, value.field, ir.Var(name))
+            else:
+                rebound = DVal(ir.Var(name))
+            env[stmt.name] = rebound
+            return [ir.Assign(name, residual_expr)]
+
+        if isinstance(stmt, ir.If):
+            cond = self._spec_expr(stmt.cond, env)
+            if isinstance(cond, SVal):
+                if stmt.bt != "reduce":
+                    raise SpecializationError(
+                        f"BTA marked If {stmt.bt!r} but condition is static"
+                    )
+                branch = stmt.then if cond.value else stmt.orelse
+                return self._spec_stmt(branch, env) if branch is not None else []
+            then_body = self._spec_stmt(stmt.then, env)
+            else_body = (
+                self._spec_stmt(stmt.orelse, env) if stmt.orelse is not None else []
+            )
+            if not then_body and not else_body:
+                return []
+            return [
+                ir.If(
+                    cond.expr,
+                    ir.Seq(then_body),
+                    ir.Seq(else_body) if else_body else None,
+                )
+            ]
+
+        if isinstance(stmt, ir.ExprStmt):
+            call = stmt.expr
+            if stmt.bt == "unfold" and isinstance(call, ir.MethodCall):
+                return self._unfold_call(call, env)
+            raise SpecializationError(
+                f"residual expression statement {stmt!r} has no meaning in "
+                "specialized checkpointing code"
+            )
+
+        if isinstance(stmt, ir.Write):
+            value = self._spec_expr(stmt.expr, env)
+            if isinstance(value, SVal):
+                return [ir.Write(stmt.kind, ir.Const(value.value))]
+            return [ir.Write(stmt.kind, value.expr)]
+
+        if isinstance(stmt, ir.SetAttr):
+            base = self._spec_expr(stmt.base, env)
+            value = self._spec_expr(stmt.expr, env)
+            residual_value = (
+                ir.Const(value.value) if isinstance(value, SVal) else value.expr
+            )
+            return [ir.SetAttr(base.expr, stmt.field, residual_value)]
+
+        if isinstance(stmt, ir.WriteScalarList):
+            value = self._spec_expr(stmt.expr, env)
+            return [ir.WriteScalarList(stmt.kind, value.expr)]
+
+        if isinstance(stmt, ir.RecordChildIds):
+            value = self._spec_expr(stmt.expr, env)
+            if stmt.bt == "unroll" and isinstance(value, PSList):
+                members = value.node.list_nodes(value.field)
+                out = [ir.Write("int", ir.Const(len(members)))]
+                if self.guards:
+                    out.append(
+                        ir.Guard(
+                            ir.Eq(ir.ListLen(value.expr), ir.Const(len(members))),
+                            f"child list {value.field!r} at "
+                            f"{value.node.path!r} changed length",
+                        )
+                    )
+                for index in range(len(members)):
+                    element = ir.IndexGet(value.expr, index)
+                    out.append(
+                        ir.Write(
+                            "int",
+                            ir.FieldGet(
+                                ir.FieldGet(element, "_ckpt_info"), "object_id"
+                            ),
+                        )
+                    )
+                return out
+            return [ir.RecordChildIds(value.expr)]
+
+        if isinstance(stmt, ir.FoldChildren):
+            value = self._spec_expr(stmt.expr, env)
+            if stmt.bt == "unroll" and isinstance(value, PSList):
+                out: List[ir.Stmt] = []
+                # Bind the list once if any member traversal survives (in
+                # guarded mode skipped members still emit a root check).
+                members = value.node.list_nodes(value.field)
+                live = [
+                    (index, node)
+                    for index, node in enumerate(members)
+                    if self.guards or self.pattern.subtree_may_be_modified(node)
+                ]
+                if not live:
+                    return []
+                if not isinstance(value.expr, ir.Var):
+                    name = self._fresh("L")
+                    out.append(ir.Assign(name, value.expr))
+                    value = PSList(value.node, value.field, ir.Var(name))
+                for index, node in live:
+                    child = PSObj(node, ir.IndexGet(value.expr, index))
+                    out.extend(self._unfold_checkpoint(child))
+                return out
+            raise SpecializationError(
+                f"cannot residualize child-list traversal {stmt!r}"
+            )
+
+        if isinstance(stmt, ir.Guard):
+            value = self._spec_expr(stmt.cond, env)
+            residual = ir.Const(value.value) if isinstance(value, SVal) else value.expr
+            return [ir.Guard(residual, stmt.message)]
+
+        raise SpecializationError(f"unknown IR statement {stmt!r}")
+
+    def _unfold_call(
+        self, call: ir.MethodCall, env: Dict[str, AbsVal]
+    ) -> List[ir.Stmt]:
+        receiver = self._spec_expr(call.base, env)
+        if isinstance(receiver, PSObj) and call.method == "record":
+            body = templates.record_ir(receiver.node.cls)
+            callee_env: Dict[str, AbsVal] = {"self": receiver, "out": _OUT}
+            self._annotate(body, callee_env)
+            return self._spec_stmt(body, callee_env)
+        if isinstance(receiver, PSObj) and call.method == "fold":
+            body = templates.fold_ir(receiver.node.cls)
+            callee_env = {"self": receiver, "ckpt": _DRIVER}
+            self._annotate(body, callee_env)
+            return self._spec_stmt(body, callee_env)
+        if isinstance(receiver, DriverVal) and call.method == "checkpoint":
+            argument = self._spec_expr(call.args[0], env)
+            if isinstance(argument, SVal) and argument.value is None:
+                return []
+            if not isinstance(argument, PSObj):
+                raise SpecializationError(
+                    f"checkpoint argument {call.args[0]!r} is not a partially "
+                    "static object"
+                )
+            return self._unfold_checkpoint(argument)
+        raise SpecializationError(f"cannot unfold virtual call {call!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _spec_expr(self, expr: ir.Expr, env: Dict[str, AbsVal]) -> AbsVal:
+        if isinstance(expr, ir.Const):
+            return self._check(expr, SVal(expr.value))
+
+        if isinstance(expr, ir.Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise SpecializationError(f"unbound variable {expr.name!r}")
+
+        if isinstance(expr, ir.FieldGet):
+            base = self._spec_expr(expr.base, env)
+            return self._check(expr, self._spec_field(base, expr.field))
+
+        if isinstance(expr, ir.IndexGet):
+            base = self._spec_expr(expr.base, env)
+            if isinstance(base, PSList):
+                members = base.node.list_nodes(base.field)
+                node = members[expr.index]
+                return self._check(
+                    expr, PSObj(node, ir.IndexGet(base.expr, expr.index))
+                )
+            return self._check(expr, DVal(ir.IndexGet(base.expr, expr.index)))
+
+        if isinstance(expr, ir.ListLen):
+            base = self._spec_expr(expr.base, env)
+            if isinstance(base, PSList):
+                return self._check(
+                    expr, SVal(len(base.node.list_nodes(base.field)))
+                )
+            return self._check(expr, DVal(ir.ListLen(base.expr)))
+
+        if isinstance(expr, ir.IsNone):
+            base = self._spec_expr(expr.base, env)
+            if isinstance(base, SVal):
+                return self._check(expr, SVal(base.value is None))
+            if isinstance(base, PSObj):
+                return self._check(expr, SVal(False))
+            return self._check(expr, DVal(ir.IsNone(base.expr)))
+
+        if isinstance(expr, ir.Not):
+            operand = self._spec_expr(expr.operand, env)
+            if isinstance(operand, SVal):
+                return self._check(expr, SVal(not operand.value))
+            return self._check(expr, DVal(ir.Not(operand.expr)))
+
+        if isinstance(expr, ir.Eq):
+            left = self._spec_expr(expr.left, env)
+            right = self._spec_expr(expr.right, env)
+            if isinstance(left, SVal) and isinstance(right, SVal):
+                return SVal(left.value == right.value)
+            left_expr = ir.Const(left.value) if isinstance(left, SVal) else left.expr
+            right_expr = (
+                ir.Const(right.value) if isinstance(right, SVal) else right.expr
+            )
+            return DVal(ir.Eq(left_expr, right_expr))
+
+        if isinstance(expr, ir.ClassIs):
+            base = self._spec_expr(expr.base, env)
+            return DVal(ir.ClassIs(base.expr, expr.cls))
+
+        if isinstance(expr, ir.ClassSerialOf):
+            base = self._spec_expr(expr.base, env)
+            if isinstance(base, PSObj):
+                return self._check(expr, SVal(base.node.cls._ckpt_serial))
+            return self._check(expr, DVal(ir.ClassSerialOf(base.expr)))
+
+        raise SpecializationError(f"unknown IR expression {expr!r}")
+
+    def _spec_field(self, base: AbsVal, field: str) -> AbsVal:
+        if isinstance(base, PSObj):
+            node = base.node
+            if field == "_ckpt_info":
+                return PSInfo(node, ir.FieldGet(base.expr, "_ckpt_info"))
+            spec = _field_spec(node, field)
+            access = ir.FieldGet(base.expr, field)
+            if spec.role == "child":
+                child = node.child_node(spec.name)
+                if child is None:
+                    return SVal(None)
+                return PSObj(child, access)
+            if spec.role == "child_list":
+                return PSList(node, spec.name, access)
+            return DVal(access)  # scalar or scalar_list contents
+        if isinstance(base, PSInfo):
+            if field == "modified":
+                if self.pattern.node_may_be_modified(base.node):
+                    return DVal(ir.FieldGet(base.expr, "modified"))
+                return SVal(False)
+            if field == "object_id":
+                return DVal(ir.FieldGet(base.expr, "object_id"))
+            raise SpecializationError(f"unexpected info attribute {field!r}")
+        if isinstance(base, DVal):
+            return DVal(ir.FieldGet(base.expr, field))
+        raise SpecializationError(
+            f"cannot read attribute {field!r} of a {base.tag} value"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Residual cleanup
+# ---------------------------------------------------------------------------
+
+
+def eliminate_dead_assigns(body: ir.Seq) -> ir.Seq:
+    """Drop residual bindings that no surviving statement reads.
+
+    Specialization can leave a binding like ``i3 = n2._ckpt_info`` whose
+    only consumer (a modified test) was reduced away; this pass removes
+    such bindings, iterating because removals can kill earlier chains.
+    """
+    current = body
+    while True:
+        uses: Dict[str, int] = {}
+        _count_uses(current, uses)
+        changed = False
+        current, changed = _drop_unused(current, uses)
+        if not changed:
+            return current
+
+
+def _count_uses(node: ir.Node, uses: Dict[str, int]) -> None:
+    if isinstance(node, ir.Var):
+        uses[node.name] = uses.get(node.name, 0) + 1
+        return
+    if isinstance(node, ir.Seq):
+        for inner in node.stmts:
+            _count_uses(inner, uses)
+    elif isinstance(node, ir.Assign):
+        _count_uses(node.expr, uses)
+    elif isinstance(node, ir.If):
+        _count_uses(node.cond, uses)
+        _count_uses(node.then, uses)
+        if node.orelse is not None:
+            _count_uses(node.orelse, uses)
+    elif isinstance(node, ir.ExprStmt):
+        _count_uses(node.expr, uses)
+    elif isinstance(node, (ir.Write, ir.WriteScalarList)):
+        _count_uses(node.expr, uses)
+    elif isinstance(node, ir.SetAttr):
+        _count_uses(node.base, uses)
+        _count_uses(node.expr, uses)
+    elif isinstance(node, (ir.RecordChildIds, ir.FoldChildren)):
+        _count_uses(node.expr, uses)
+    elif isinstance(node, ir.Guard):
+        _count_uses(node.cond, uses)
+    elif isinstance(node, ir.FieldGet):
+        _count_uses(node.base, uses)
+    elif isinstance(node, ir.IndexGet):
+        _count_uses(node.base, uses)
+    elif isinstance(node, (ir.ListLen, ir.IsNone)):
+        _count_uses(node.base, uses)
+    elif isinstance(node, ir.Not):
+        _count_uses(node.operand, uses)
+    elif isinstance(node, ir.Eq):
+        _count_uses(node.left, uses)
+        _count_uses(node.right, uses)
+    elif isinstance(node, ir.ClassIs):
+        _count_uses(node.base, uses)
+    elif isinstance(node, ir.ClassSerialOf):
+        _count_uses(node.base, uses)
+    elif isinstance(node, ir.MethodCall):
+        _count_uses(node.base, uses)
+        for arg in node.args:
+            _count_uses(arg, uses)
+    # Const carries no variables.
+
+
+def _drop_unused(stmt: ir.Stmt, uses: Dict[str, int]):
+    changed = False
+    if isinstance(stmt, ir.Seq):
+        kept: List[ir.Stmt] = []
+        for inner in stmt.stmts:
+            if isinstance(inner, ir.Assign) and uses.get(inner.name, 0) == 0:
+                changed = True
+                continue
+            replacement, inner_changed = _drop_unused(inner, uses)
+            changed = changed or inner_changed
+            kept.append(replacement)
+        return ir.Seq(kept), changed
+    if isinstance(stmt, ir.If):
+        then, then_changed = _drop_unused(stmt.then, uses)
+        orelse = None
+        orelse_changed = False
+        if stmt.orelse is not None:
+            orelse, orelse_changed = _drop_unused(stmt.orelse, uses)
+        return ir.If(stmt.cond, then, orelse), then_changed or orelse_changed
+    return stmt, False

@@ -1,0 +1,148 @@
+"""Specialization classes and the specialization-class compiler (JSCC analog).
+
+A :class:`SpecClass` is the programmer-facing declaration of the paper's
+``specclass`` construct: it names a recurring compound structure (by
+:class:`~repro.spec.shape.Shape`), optionally a per-phase
+:class:`~repro.spec.modpattern.ModificationPattern`, and whether run-time
+guards should be compiled in. The :class:`SpecCompiler` turns declarations
+into :class:`SpecializedCheckpointer` objects — compiled monolithic
+functions — caching them per declaration (the paper notes that one
+specialized routine is generated per structure and per phase).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.errors import SpecializationError
+from repro.core.streams import DataOutputStream
+from repro.spec import codegen
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.pe import Specializer
+from repro.spec.shape import Shape
+
+
+class SpecClass:
+    """Declaration: specialize checkpointing for one structure (and phase).
+
+    Parameters
+    ----------
+    shape:
+        Structural facts, normally obtained from a prototype via
+        :meth:`Shape.of`.
+    pattern:
+        Which positions may be modified between checkpoints. ``None``
+        declares nothing (structure-only specialization — the paper's
+        Figure 5).
+    name:
+        Name given to the generated function; also the cache key together
+        with the declarations.
+    guards:
+        Compile run-time checks that visited objects have the declared
+        class and that visited quiescent objects are indeed unmodified.
+    """
+
+    def __init__(
+        self,
+        shape: Shape,
+        pattern: Optional[ModificationPattern] = None,
+        name: str = "spec_checkpoint",
+        guards: bool = False,
+    ) -> None:
+        if pattern is not None and pattern.shape is not shape:
+            raise SpecializationError(
+                "the modification pattern was declared for a different shape"
+            )
+        self.shape = shape
+        self.pattern = pattern
+        self.name = name
+        self.guards = guards
+
+    @classmethod
+    def for_prototype(
+        cls,
+        prototype: Checkpointable,
+        pattern: Optional[ModificationPattern] = None,
+        name: str = "spec_checkpoint",
+        guards: bool = False,
+    ) -> "SpecClass":
+        """Convenience: derive the shape from a prototype instance."""
+        return cls(Shape.of(prototype), pattern, name, guards)
+
+    def _cache_key(self) -> Tuple:
+        pattern_key = (
+            None if self.pattern is None else tuple(sorted(self.pattern.may_modify_paths()))
+        )
+        return (id(self.shape), pattern_key, self.name, self.guards)
+
+
+class SpecializedCheckpointer:
+    """A compiled, monolithic specialized checkpoint routine.
+
+    Calling the object checkpoints one structure::
+
+        ckpt = compiler.compile(spec)
+        out = DataOutputStream()
+        ckpt(root, out)
+
+    Attributes
+    ----------
+    source:
+        The generated Python source (useful for inspection; the examples
+        print it to show the Figure 5/6 style output).
+    residual_ir:
+        The residual IR the source was emitted from.
+    spec:
+        The originating :class:`SpecClass`.
+    """
+
+    def __init__(self, spec: SpecClass) -> None:
+        self.spec = spec
+        specializer = Specializer(spec.shape, spec.pattern, guards=spec.guards)
+        self.residual_ir = specializer.specialize()
+        self.source, self._function = codegen.emit(self.residual_ir, spec.name)
+
+    def __call__(self, root: Checkpointable, out: DataOutputStream) -> None:
+        self._function(root, out)
+
+    def checkpoint_all(
+        self, roots: Iterable[Checkpointable], out: DataOutputStream
+    ) -> None:
+        """Checkpoint every structure of a collection with one call."""
+        function = self._function
+        for root in roots:
+            function(root, out)
+
+    def source_lines(self) -> List[str]:
+        return self.source.splitlines()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpecializedCheckpointer({self.spec.name!r}, "
+            f"{len(self.source_lines())} lines)"
+        )
+
+
+class SpecCompiler:
+    """Compiles :class:`SpecClass` declarations, with caching."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple, SpecializedCheckpointer] = {}
+
+    def compile(self, spec: SpecClass) -> SpecializedCheckpointer:
+        """Return the (possibly cached) specialized checkpointer for ``spec``."""
+        key = spec._cache_key()
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = SpecializedCheckpointer(spec)
+            self._cache[key] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+#: Process-wide compiler instance (specialized routines are pure functions,
+#: so sharing the cache is always safe).
+DEFAULT_COMPILER = SpecCompiler()

@@ -1,0 +1,133 @@
+"""The generic checkpointing algorithm, expressed in the specializer IR.
+
+These builders produce exactly the code that runs in the unspecialized
+system (paper Figures 1 and 2):
+
+- :func:`checkpoint_ir` — the driver's ``checkpoint(o)`` method,
+- :func:`record_ir` — the per-class generated ``record`` method,
+- :func:`fold_ir` — the per-class generated ``fold`` method.
+
+The specializer unfolds this program against declared structure and
+modification facts; it never sees the framework's Python source, only
+this IR, which keeps the specializer honest about what it may assume.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.errors import SpecializationError
+from repro.spec import ir
+
+
+def checkpoint_ir() -> ir.Stmt:
+    """IR of ``Checkpoint.checkpoint(o)``: free variables ``o, out, ckpt``.
+
+    Mirrors paper Figure 1::
+
+        info = o._ckpt_info
+        if info.modified:
+            write_int(info.object_id)
+            write_int(serial(o))
+            o.record(out)          # virtual
+            info.modified = False
+        o.fold(ckpt)               # virtual
+    """
+    o = ir.Var("o")
+    info = ir.Var("info")
+    return ir.Seq(
+        [
+            ir.Assign("info", ir.FieldGet(o, "_ckpt_info")),
+            ir.If(
+                ir.FieldGet(info, "modified"),
+                ir.Seq(
+                    [
+                        ir.Write("int", ir.FieldGet(info, "object_id")),
+                        ir.Write("int", ir.ClassSerialOf(o)),
+                        ir.ExprStmt(ir.MethodCall(o, "record", [ir.Var("out")])),
+                        ir.SetAttr(info, "modified", ir.Const(False)),
+                    ]
+                ),
+            ),
+            ir.ExprStmt(ir.MethodCall(o, "fold", [ir.Var("ckpt")])),
+        ]
+    )
+
+
+def full_checkpoint_ir() -> ir.Stmt:
+    """IR of the *full* checkpointing driver: record unconditionally.
+
+    The flag is still reset so a full checkpoint can base an incremental
+    chain (mirrors :class:`repro.core.checkpoint.FullCheckpoint`).
+    """
+    o = ir.Var("o")
+    info = ir.Var("info")
+    return ir.Seq(
+        [
+            ir.Assign("info", ir.FieldGet(o, "_ckpt_info")),
+            ir.Write("int", ir.FieldGet(info, "object_id")),
+            ir.Write("int", ir.ClassSerialOf(o)),
+            ir.ExprStmt(ir.MethodCall(o, "record", [ir.Var("out")])),
+            ir.SetAttr(info, "modified", ir.Const(False)),
+            ir.ExprStmt(ir.MethodCall(o, "fold", [ir.Var("ckpt")])),
+        ]
+    )
+
+
+def record_ir(cls: type) -> ir.Stmt:
+    """IR of the generated ``record`` method of ``cls``: free vars ``self, out``."""
+    schema = getattr(cls, "_ckpt_schema", None)
+    if schema is None:
+        raise SpecializationError(f"{cls!r} is not a checkpointable class")
+    self_var = ir.Var("self")
+    stmts: List[ir.Stmt] = []
+    for field in schema:
+        value = ir.FieldGet(self_var, field.slot)
+        if field.role == "scalar":
+            stmts.append(ir.Write(field.kind, value))
+        elif field.role == "scalar_list":
+            stmts.append(ir.WriteScalarList(field.kind, value))
+        elif field.role == "child":
+            # _c = self._f_x
+            # if _c is None: write_int(-1)
+            # else:          write_int(_c._ckpt_info.object_id)
+            local = "_c_" + field.name
+            stmts.append(ir.Assign(local, value))
+            child = ir.Var(local)
+            stmts.append(
+                ir.If(
+                    ir.IsNone(child),
+                    ir.Write("int", ir.Const(-1)),
+                    ir.Write(
+                        "int",
+                        ir.FieldGet(ir.FieldGet(child, "_ckpt_info"), "object_id"),
+                    ),
+                )
+            )
+        else:  # child_list
+            stmts.append(ir.RecordChildIds(value))
+    return ir.Seq(stmts)
+
+
+def fold_ir(cls: type) -> ir.Stmt:
+    """IR of the generated ``fold`` method of ``cls``: free vars ``self, ckpt``."""
+    schema = getattr(cls, "_ckpt_schema", None)
+    if schema is None:
+        raise SpecializationError(f"{cls!r} is not a checkpointable class")
+    self_var = ir.Var("self")
+    stmts: List[ir.Stmt] = []
+    for field in schema:
+        value = ir.FieldGet(self_var, field.slot)
+        if field.role == "child":
+            local = "_c_" + field.name
+            stmts.append(ir.Assign(local, value))
+            child = ir.Var(local)
+            stmts.append(
+                ir.If(
+                    ir.Not(ir.IsNone(child)),
+                    ir.ExprStmt(ir.MethodCall(ir.Var("ckpt"), "checkpoint", [child])),
+                )
+            )
+        elif field.role == "child_list":
+            stmts.append(ir.FoldChildren(value))
+    return ir.Seq(stmts)

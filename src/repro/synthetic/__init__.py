@@ -1,0 +1,20 @@
+"""The paper's synthetic application (section 5).
+
+A configurable population of compound structures — each a root object
+holding several linked lists of elements carrying integer payloads — with
+controllable modification patterns: the fraction of modified elements, the
+set of lists that may contain modified elements, and the positions within
+each list where a modified element may occur. These are exactly the knobs
+the paper's Figures 7-11 and Table 2 sweep.
+"""
+
+from repro.synthetic.runner import SyntheticConfig, SyntheticWorkload, run_variant
+from repro.synthetic.structures import build_structure, build_structures
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "run_variant",
+    "build_structure",
+    "build_structures",
+]

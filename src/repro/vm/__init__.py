@@ -1,0 +1,34 @@
+"""Metered abstract machine — the execution-environment substrate.
+
+The paper evaluates on three execution environments (JDK 1.2 JIT,
+JDK 1.2 + HotSpot, and the Harissa Java-to-C compiler) that we cannot
+run. This subpackage substitutes them with a two-part model:
+
+1. :mod:`repro.vm.machine` — an interpreter for the checkpointing IR that
+   *executes the real algorithms* (producing byte-identical output to the
+   production drivers, which tests verify) while counting every abstract
+   operation: virtual calls, accessor calls, field reads, tests, typed
+   writes, flag resets, loop iterations.
+2. :mod:`repro.vm.backends` — cost profiles assigning a nanosecond price
+   to each operation per execution environment. Simulated time is the
+   dot product of the op counts with a profile.
+
+Because the op counts are exact and only the prices change between
+backends, the model reproduces precisely the quantity that distinguished
+the paper's three environments: how expensive dynamic dispatch and
+accessor calls are relative to straight-line field access.
+"""
+
+from repro.vm.backends import HARISSA, HOTSPOT, JDK12_JIT, PROFILES, CostProfile
+from repro.vm.machine import MeteredMachine
+from repro.vm.ops import OpCounts
+
+__all__ = [
+    "OpCounts",
+    "MeteredMachine",
+    "CostProfile",
+    "HARISSA",
+    "HOTSPOT",
+    "JDK12_JIT",
+    "PROFILES",
+]

@@ -1,0 +1,92 @@
+"""Command line: op-count and simulated-time breakdowns.
+
+Usage::
+
+    python -m repro.vm [--structures N] [--lists K] [--length L]
+                       [--ints M] [--percent P] [--modified-lists K2]
+                       [--last-only]
+
+Prints, for every checkpointing variant, the abstract-operation breakdown
+measured by the metered machine and the simulated time on each calibrated
+backend — the raw material behind the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.synthetic.runner import SyntheticConfig, SyntheticWorkload, run_variant
+from repro.vm.backends import PROFILES
+from repro.vm.ops import OP_NAMES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.vm")
+    parser.add_argument("--structures", type=int, default=500)
+    parser.add_argument("--lists", type=int, default=5)
+    parser.add_argument("--length", type=int, default=5)
+    parser.add_argument("--ints", type=int, default=1)
+    parser.add_argument("--percent", type=float, default=25.0)
+    parser.add_argument("--modified-lists", type=int, default=None)
+    parser.add_argument("--last-only", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = SyntheticConfig(
+        num_structures=args.structures,
+        num_lists=args.lists,
+        list_length=args.length,
+        ints_per_element=args.ints,
+        percent_modified=args.percent / 100.0,
+        modified_lists=args.modified_lists,
+        last_only=args.last_only,
+    )
+    workload = SyntheticWorkload(config)
+    print(f"workload: {config.describe()}")
+    print(f"objects: {workload.object_count()}, modified: {workload.modified_count}")
+    print()
+
+    variants = ("full", "incremental", "spec_struct", "spec_struct_mod")
+    results = {
+        variant: run_variant(workload, variant, meter_sample=None)
+        for variant in variants
+    }
+
+    used_ops = [
+        op
+        for op in OP_NAMES
+        if any(results[v].counts[op] for v in variants)
+    ]
+    header = f"{'op':12s}" + "".join(f"{v:>16s}" for v in variants)
+    print(header)
+    print("-" * len(header))
+    for op in used_ops:
+        row = f"{op:12s}" + "".join(
+            f"{results[v].counts[op]:16,d}" for v in variants
+        )
+        print(row)
+    print("-" * len(header))
+    print(
+        f"{'bytes':12s}"
+        + "".join(f"{results[v].checkpoint_bytes:16,d}" for v in variants)
+    )
+    print()
+    for profile in PROFILES:
+        row = f"{profile.name:20s}"
+        for variant in variants:
+            row += f"{profile.seconds(results[variant].counts) * 1000:12.3f}ms"
+        print(row)
+    print()
+    baseline = results["incremental"]
+    for profile in PROFILES:
+        base_seconds = profile.seconds(baseline.counts)
+        speedups = " ".join(
+            f"{v}={base_seconds / profile.seconds(results[v].counts):5.2f}x"
+            for v in ("spec_struct", "spec_struct_mod")
+        )
+        print(f"speedup vs incremental on {profile.name}: {speedups}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro.analysis`` command line."""
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+CONV = """
+int n = 4;
+int data[8];
+int out[8];
+int k = 3;
+void main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) { out[i] = data[i] * k; }
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(CONV)
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_reports_iterations_and_binding_times(self, capsys, program_file):
+        assert main(["analyze", program_file, "--dynamic", "data,out"]) == 0
+        out = capsys.readouterr().out
+        assert "iterations:" in out
+        assert "binding times:" in out
+        assert "base checkpoint:" in out
+
+    def test_strategy_none_skips_checkpoint_stats(self, capsys, program_file):
+        main(["analyze", program_file, "--strategy", "none"])
+        out = capsys.readouterr().out
+        assert "base checkpoint" not in out
+
+
+class TestSpecializeCommand:
+    def test_prints_residual_program(self, capsys, program_file):
+        assert main(["specialize", program_file, "--dynamic", "data,out"]) == 0
+        out = capsys.readouterr().out
+        # k folds; the loop over a static bound unrolls.
+        assert "* 3" in out
+        assert "for" not in out
+        assert "void main()" in out
+
+    def test_budget_flag(self, program_file):
+        from repro.analysis.specializer import SpecializationBudgetError
+
+        with pytest.raises(SpecializationBudgetError):
+            main(
+                [
+                    "specialize",
+                    program_file,
+                    "--dynamic",
+                    "data,out",
+                    "--budget",
+                    "3",
+                ]
+            )
+
+
+class TestRunCommand:
+    def test_executes_and_prints_state(self, capsys, program_file):
+        assert (
+            main(["run", program_file, "--set", "data=1,2,3,4,5,6,7,8"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "out = [3, 6, 9, 12, 15, 18, 21, 24]" in out
+        assert "k = 3" in out
+
+    def test_scalar_and_float_inputs(self, capsys, tmp_path):
+        path = tmp_path / "s.c"
+        path.write_text("int x = 1;\nfloat y = 0.0;\nvoid main() { y = y * 2.0; }")
+        main(["run", str(path), "--set", "x=9", "--set", "y=1.5"])
+        out = capsys.readouterr().out
+        assert "x = 9" in out
+        assert "y = 3.0" in out
+
+    def test_bad_set_syntax(self, capsys, program_file):
+        assert main(["run", program_file, "--set", "oops"]) == 2
+        assert "name=value" in capsys.readouterr().err
+
+    def test_long_arrays_abbreviated(self, capsys, tmp_path):
+        path = tmp_path / "big.c"
+        path.write_text("int a[64];\nvoid main() { a[0] = 1; }")
+        main(["run", str(path)])
+        assert "... 64 total" in capsys.readouterr().out

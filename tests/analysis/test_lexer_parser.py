@@ -1,0 +1,143 @@
+"""Unit tests for the simplified-C lexer and parser."""
+
+import pytest
+
+from repro.analysis.lang import astnodes as ast
+from repro.analysis.lang.lexer import LexError, tokenize
+from repro.analysis.lang.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        kinds = [t.kind for t in tokenize("int x while whilex")]
+        assert kinds == ["int", "ident", "while", "ident", "eof"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.25 0")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("intlit", "42"),
+            ("floatlit", "3.25"),
+            ("intlit", "0"),
+        ]
+
+    def test_multichar_punct_priority(self):
+        kinds = [t.kind for t in tokenize("<= == != >= && || < =")]
+        assert kinds[:-1] == ["<=", "==", "!=", ">=", "&&", "||", "<", "="]
+
+    def test_line_comments(self):
+        tokens = tokenize("a // comment\nb")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+        assert tokens[1].line == 2
+
+    def test_block_comments(self):
+        tokens = tokenize("a /* x\ny */ b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+        assert tokens[1].line == 2
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("/* never ends")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("int $x;")
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestParserStructure:
+    def test_globals_and_functions(self):
+        program = parse("int g = 1;\nint f(int x) { return x; }\n")
+        assert len(program.globals) == 1
+        assert program.globals[0].name == "g"
+        assert len(program.functions) == 1
+        assert program.function("f").params[0].name == "x"
+
+    def test_array_global(self):
+        program = parse("int a[10];\nvoid f() { a[0] = 1; }")
+        assert program.globals[0].size == 10
+
+    def test_node_ids_unique_and_dense(self):
+        program = parse("int f(int x) { return x + 1; }")
+        ids = [node.node_id for node in program.walk()]
+        assert sorted(ids) == list(range(program.node_count))
+
+    def test_precedence(self):
+        program = parse("int f() { return 1 + 2 * 3 < 4 && 5 == 6; }")
+        expr = program.function("f").body.body[0].value
+        assert isinstance(expr, ast.Binary) and expr.op == "&&"
+        left = expr.left
+        assert left.op == "<"
+        assert left.left.op == "+"
+        assert left.left.right.op == "*"
+
+    def test_unary_and_parens(self):
+        program = parse("int f(int x) { return -(x + 1) * !x; }")
+        expr = program.function("f").body.body[0].value
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Unary) and expr.left.op == "-"
+        assert isinstance(expr.right, ast.Unary) and expr.right.op == "!"
+
+    def test_if_else_while_for(self):
+        source = """
+        void f(int n) {
+            int i;
+            if (n > 0) { n = 0; } else { n = 1; }
+            while (n < 10) { n = n + 1; }
+            for (i = 0; i < n; i = i + 1) { n = n - 1; }
+        }
+        """
+        body = parse(source).function("f").body.body
+        assert isinstance(body[1], ast.If)
+        assert body[1].orelse is not None
+        assert isinstance(body[2], ast.While)
+        assert isinstance(body[3], ast.For)
+
+    def test_for_with_empty_slots(self):
+        program = parse("void f() { int i; for (;;) { i = 1; } }")
+        loop = program.function("f").body.body[1]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_call_statement_and_args(self):
+        program = parse("void g(int a, float b) {}\nvoid f() { g(1, 2.5); }")
+        stmt = program.function("f").body.body[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+        assert len(stmt.expr.args) == 2
+
+    def test_array_element_assignment(self):
+        program = parse("int a[4];\nvoid f(int i) { a[i + 1] = 2; }")
+        stmt = program.function("f").body.body[0]
+        assert isinstance(stmt.target, ast.IndexRef)
+
+    def test_source_lines_counted(self):
+        program = parse("int x = 1;\nint y = 2;\n")
+        assert program.source_lines == 3
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("void x = 1;", "void"),
+            ("int f(void v) {}", "void"),
+            ("int a[0];", "positive"),
+            ("int f() { 1 + 2; }", "assignment or a call"),
+            ("int f() { (x) }", "unknown|expected"),
+            ("int f() { if (1) { } else }", "expected"),
+            ("int f() { for (x; 1; x = 1) {} }", "expected"),
+            ("int f() { 1 = 2; }", "assignment target|expected"),
+            ("int f() { return 1 }", "expected"),
+            ("int f() {", "unterminated"),
+        ],
+    )
+    def test_syntax_errors(self, source, match):
+        with pytest.raises(ParseError, match=match):
+            parse(source)
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse("int x = 1;\nint f() { return }\n")
+        assert exc.value.line == 2

@@ -1,0 +1,64 @@
+"""Unit tests for the generated benchmark programs."""
+
+from repro.analysis.attributes import DYNAMIC, STATIC
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.lang.parser import parse
+from repro.analysis.programs import (
+    image_division,
+    image_pipeline_source,
+    paper_scale_source,
+    tiny_source,
+)
+from repro.analysis.symbols import resolve
+
+
+class TestGeneratedSources:
+    def test_tiny_parses_and_resolves(self):
+        program = parse(tiny_source())
+        resolve(program)
+        assert program.function("main")
+
+    def test_image_pipeline_parses_at_all_sizes(self):
+        for kernels in (1, 4, 11):
+            program = parse(image_pipeline_source(kernels=kernels))
+            resolve(program)
+            assert len(program.functions) >= 8 + 2 * kernels
+
+    def test_paper_scale_line_count(self):
+        lines = paper_scale_source().count("\n") + 1
+        assert 700 <= lines <= 800  # the paper's "750-line" program
+
+    def test_generation_deterministic(self):
+        assert paper_scale_source() == paper_scale_source()
+
+
+class TestAnalysisOfGeneratedPrograms:
+    def test_division_yields_mixed_binding_times(self):
+        engine = AnalysisEngine(
+            image_pipeline_source(kernels=2), division=image_division()
+        )
+        engine.run()
+        values = {
+            engine.attributes.of(node).bt_entry.bt.value
+            for node in engine.program.walk()
+        }
+        assert STATIC in values and DYNAMIC in values
+
+    def test_geometry_static_pixels_dynamic(self):
+        engine = AnalysisEngine(
+            image_pipeline_source(kernels=1), division=image_division()
+        )
+        engine.run()
+        table = engine.symbols
+        width = next(s for s in table.symbols if s.name == "width")
+        img = next(s for s in table.symbols if s.name == "img")
+        assert engine.bta.bt[width.symbol_id] == STATIC
+        assert engine.bta.bt[img.symbol_id] == DYNAMIC
+
+    def test_bta_needs_multiple_iterations(self):
+        engine = AnalysisEngine(
+            image_pipeline_source(kernels=3), division=image_division()
+        )
+        report = engine.run()
+        assert report.phase_iterations["BTA"] >= 3
+        assert report.phase_iterations["ETA"] >= 2

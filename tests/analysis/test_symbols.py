@@ -1,0 +1,82 @@
+"""Unit tests for symbol resolution."""
+
+import pytest
+
+from repro.analysis.lang.parser import parse
+from repro.analysis.symbols import SemanticError, Symbol, resolve
+
+
+def _resolved(source):
+    program = parse(source)
+    return program, resolve(program)
+
+
+class TestResolution:
+    def test_globals_params_locals(self):
+        program, table = _resolved(
+            "int g = 0;\nint f(int p) { int l = p + g; return l; }"
+        )
+        func = program.function("f")
+        assert func.params[0].symbol.kind == Symbol.PARAM
+        decl = func.body.body[0]
+        assert decl.symbol.kind == Symbol.LOCAL
+        assert table.globals["g"].kind == Symbol.GLOBAL
+        assert len({s.symbol_id for s in table.symbols}) == 3
+
+    def test_var_refs_linked(self):
+        program, _ = _resolved("int g = 0;\nvoid f() { g = g + 1; }")
+        stmt = program.function("f").body.body[0]
+        assert stmt.target.symbol.name == "g"
+        assert stmt.expr.left.symbol is stmt.target.symbol
+
+    def test_locals_shadow_globals(self):
+        program, _ = _resolved("int x = 1;\nvoid f() { int x; x = 2; }")
+        stmt = program.function("f").body.body[1]
+        assert stmt.target.symbol.kind == Symbol.LOCAL
+
+    def test_calls_linked_to_definitions(self):
+        program, _ = _resolved("int g(int a) { return a; }\nvoid f() { g(1); }")
+        call = program.function("f").body.body[0].expr
+        assert call.func is program.function("g")
+
+    def test_array_symbols(self):
+        program, table = _resolved("int a[8];\nvoid f(int i) { a[i] = i; }")
+        assert table.globals["a"].is_array
+
+    def test_function_scope_lookup(self):
+        _, table = _resolved("void f(int p) { int q; q = p; }")
+        scope = table.function_scope("f")
+        assert set(scope) == {"p", "q"}
+
+    def test_global_ids(self):
+        _, table = _resolved("int a = 1;\nint b = 2;\nvoid f() { a = b; }")
+        assert len(table.global_ids()) == 2
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("int x = 1;\nint x = 2;", "duplicate global"),
+            ("void f() {}\nvoid f() {}", "duplicate function"),
+            ("int f = 1;\nvoid f() {}", "both a global and a function"),
+            ("void f(int a, int a) {}", "duplicate parameter"),
+            ("void f() { int a; int a; }", "duplicate local"),
+            ("void f() { x = 1; }", "unknown variable"),
+            ("void f() { g(); }", "undefined function"),
+            ("void g(int a) {}\nvoid f() { g(); }", "expects 1 arguments"),
+            ("int x = 1;\nvoid f(int i) { x[i] = 1; }", "not an array"),
+            ("int a[4];\nvoid f() { a = 3; }", "whole array"),
+            ("int f() { return 1; }\nvoid g() { }\nint h() { return 2; }\n"
+             "int bad = y;", "unknown variable"),
+        ],
+    )
+    def test_errors(self, source, match):
+        program = parse(source)
+        with pytest.raises(SemanticError, match=match):
+            resolve(program)
+
+    def test_void_return_with_value_rejected(self):
+        program = parse("void f() { return 1; }")
+        with pytest.raises(SemanticError, match="returns void"):
+            resolve(program)

@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro.bench`` command line."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys, monkeypatch):
+        from repro.bench import experiments
+
+        monkeypatch.setattr(experiments, "METER_SAMPLE", 20)
+        assert main(["fig7", "--structures", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "sim speedup" in out
+        assert "completed in" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_all_expands(self, monkeypatch):
+        calls = []
+        from repro.bench import __main__ as cli
+
+        class _Fake:
+            def __init__(self, name):
+                self.name = name
+
+            def __call__(self, paper_scale=False, structures=None):
+                calls.append((self.name, paper_scale, structures))
+                from repro.bench.reporting import ExperimentResult
+
+                return ExperimentResult(self.name, "t", ("x",))
+
+        monkeypatch.setattr(
+            cli, "ALL_EXPERIMENTS", {"a": _Fake("a"), "b": _Fake("b")}
+        )
+        assert main(["all", "--paper-scale"]) == 0
+        assert calls == [("a", True, None), ("b", True, None)]
+
+    def test_structures_override_passed(self, monkeypatch):
+        seen = {}
+        from repro.bench import __main__ as cli
+        from repro.bench.reporting import ExperimentResult
+
+        def fake(paper_scale=False, structures=None):
+            seen["structures"] = structures
+            return ExperimentResult("x", "t", ("c",))
+
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"x": fake})
+        main(["x", "--structures", "123"])
+        assert seen["structures"] == 123

@@ -1,0 +1,98 @@
+"""Smoke/shape tests for the experiment harness (tiny populations)."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.reporting import ExperimentResult, format_table, megabytes
+
+TINY = 40
+
+
+@pytest.fixture(autouse=True)
+def _small_meter_sample(monkeypatch):
+    monkeypatch.setattr(experiments, "METER_SAMPLE", TINY)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), ("xx", 0.001)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult("T", "title", ("x",))
+        result.add_row(1.0)
+        result.add_note("hello")
+        rendered = result.render()
+        assert "T: title" in rendered and "hello" in rendered
+
+    def test_megabytes(self):
+        assert megabytes(2_500_000) == 2.5
+
+
+class TestSyntheticExperiments:
+    def test_fig7_shape(self):
+        result = experiments.fig7(structures=TINY)
+        assert len(result.rows) == 12  # 2 ints x 2 lengths x 3 percents
+        by_label = {row[0]: row[1] for row in result.rows}
+        # 100%-modified speedups sit near 1; 25% with 10 ints exceeds 2.
+        assert by_label["10 int/elt, len 5, 100% modified"] < 1.3
+        assert by_label["10 int/elt, len 5, 25% modified"] > 2.0
+
+    def test_fig8_shape(self):
+        result = experiments.fig8(structures=TINY)
+        by_label = {row[0]: row[1] for row in result.rows}
+        assert 1.1 < by_label["10 int/elt, len 5, 100% modified"] < 2.2
+        assert by_label["1 int/elt, len 5, 25% modified"] > 2.0
+
+    def test_fig9_monotone_in_restricted_lists(self):
+        result = experiments.fig9(structures=TINY)
+        by_label = {row[0]: row[1] for row in result.rows}
+        one = by_label["1 int/elt, 1 modifiable lists, 25% modified"]
+        five = by_label["1 int/elt, 5 modifiable lists, 25% modified"]
+        assert one > five > 1.0
+
+    def test_fig10_exceeds_fig9(self):
+        fig9 = experiments.fig9(structures=TINY)
+        fig10 = experiments.fig10(structures=TINY)
+        nine = {row[0]: row[1] for row in fig9.rows}[
+            "1 int/elt, 1 modifiable lists, 25% modified"
+        ]
+        ten = {row[0]: row[1] for row in fig10.rows}[
+            "1 int/elt, len 5, 1 lists, 25% modified"
+        ]
+        assert ten > nine
+
+    def test_fig11_backend_ordering(self):
+        result = experiments.fig11(structures=TINY)
+        for row in result.rows:
+            label, jdk, hotspot, harissa, _wall = row
+            if "1 lists, 25%" in label:
+                assert harissa > hotspot > jdk > 1.0
+
+    def test_table2_magnitudes(self):
+        result = experiments.table2(structures=TINY)
+        assert len(result.rows) == 12  # 3 VMs x 2 codes x 2 list counts
+        rows = {(r[0], r[1], r[2]): r[3:] for r in result.rows}
+        unspec = rows[("Harissa", "unspecialized", 5)]
+        spec = rows[("Harissa", "specialized", 5)]
+        assert all(u > s for u, s in zip(unspec, spec))
+        # Paper epoch: Harissa unspecialized at 100% in the low seconds.
+        assert 1.0 < unspec[0] < 20.0
+
+
+class TestTable1Experiment:
+    def test_table1_rows_and_speedup(self):
+        result = experiments.table1()
+        assert len(result.rows) == 6
+        by_key = {(r[0], r[1]): r for r in result.rows}
+        for phase in ("BTA", "ETA"):
+            full_row = by_key[(phase, "full")]
+            incremental_row = by_key[(phase, "incremental")]
+            specialized_row = by_key[(phase, "specialized")]
+            assert full_row[3] > incremental_row[3]  # max ckp size
+            assert float(specialized_row[7]) > 1.0  # wall speedup
+            assert float(specialized_row[8]) > 1.0  # simulated JDK speedup
+            # Simulated JDK seconds: full > incremental > specialized.
+            assert full_row[6] > incremental_row[6] > specialized_row[6]

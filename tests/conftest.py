@@ -1,0 +1,89 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, child_list, scalar, scalar_list
+
+_unique = itertools.count()
+
+_FIELD_FACTORIES = {
+    "scalar": scalar,
+    "scalar_list": scalar_list,
+    "child": child,
+    "child_list": child_list,
+}
+
+
+def make_class(name: str, bases=(Checkpointable,), **fields):
+    """A throwaway checkpointable class with a collision-free name.
+
+    ``fields`` maps field name -> descriptor (build them with
+    ``scalar``/``child``/...). Class names are uniquified because the
+    registry intentionally rejects two distinct classes under one name.
+    """
+    unique_name = f"{name}_{next(_unique)}"
+    namespace = dict(fields)
+    namespace["__module__"] = "tests.generated"
+    namespace["__qualname__"] = unique_name
+    return type(unique_name, bases, namespace)
+
+
+# ---------------------------------------------------------------------------
+# A small stable class family, shared by many tests (defined once).
+# ---------------------------------------------------------------------------
+
+
+class Leaf(Checkpointable):
+    """A value-carrying leaf object."""
+
+    value = scalar("int")
+    weight = scalar("float")
+    label = scalar("str")
+    flag = scalar("bool")
+
+
+class Mid(Checkpointable):
+    """Holds one leaf plus bookkeeping lists."""
+
+    leaf = child(Leaf)
+    notes = scalar_list("int")
+
+
+class Root(Checkpointable):
+    """A two-level compound structure with an optional side child."""
+
+    name = scalar("str")
+    mid = child(Mid)
+    extra = child(Leaf)
+    kids = child_list(Leaf)
+
+
+def build_root(with_extra: bool = True, kid_count: int = 2) -> Root:
+    root = Root(name="root")
+    root.mid = Mid(leaf=Leaf(value=7, weight=1.5, label="seven", flag=True))
+    root.mid.notes = [1, 2, 3]
+    if with_extra:
+        root.extra = Leaf(value=-1, weight=0.25, label="extra", flag=False)
+    for index in range(kid_count):
+        root.kids.append(Leaf(value=index, weight=float(index), label=f"k{index}"))
+    return root
+
+
+@pytest.fixture
+def root() -> Root:
+    return build_root()
+
+
+@pytest.fixture
+def clean_root() -> Root:
+    """A root structure whose flags are all clear (as if just checkpointed)."""
+    from repro.core.checkpoint import reset_flags
+
+    built = build_root()
+    reset_flags(built)
+    return built

@@ -1,0 +1,137 @@
+"""Unit tests for the asynchronous stable-storage writer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, FullCheckpoint
+from repro.core.errors import StorageError
+from repro.core.restore import structurally_equal
+from repro.core.storage import (
+    FULL,
+    INCREMENTAL,
+    BackgroundWriter,
+    FileStore,
+    MemoryStore,
+)
+from tests.conftest import build_root
+
+
+class _FailingStore(MemoryStore):
+    def __init__(self, fail_on: int) -> None:
+        super().__init__()
+        self._fail_on = fail_on
+        self._calls = 0
+
+    def append(self, kind, data):
+        self._calls += 1
+        if self._calls == self._fail_on:
+            raise OSError("disk full")
+        return super().append(kind, data)
+
+
+class _SlowStore(MemoryStore):
+    def append(self, kind, data):
+        time.sleep(0.01)
+        return super().append(kind, data)
+
+
+class TestBackgroundWriter:
+    def test_epochs_written_in_order(self):
+        backing = MemoryStore()
+        with BackgroundWriter(backing) as writer:
+            writer.append(FULL, b"base")
+            writer.append(INCREMENTAL, b"d1")
+            writer.append(INCREMENTAL, b"d2")
+            writer.flush()
+            assert [(e.kind, e.data) for e in backing.epochs()] == [
+                (FULL, b"base"),
+                (INCREMENTAL, b"d1"),
+                (INCREMENTAL, b"d2"),
+            ]
+
+    def test_append_does_not_block_on_slow_store(self):
+        backing = _SlowStore()
+        with BackgroundWriter(backing) as writer:
+            start = time.perf_counter()
+            for _ in range(5):
+                writer.append(INCREMENTAL, b"x" * 1000)
+            queued_in = time.perf_counter() - start
+            writer.flush()
+        # Five 10ms writes would block 50ms synchronously.
+        assert queued_in < 0.04
+        assert len(backing.epochs()) == 5
+
+    def test_write_failure_surfaces(self):
+        writer = BackgroundWriter(_FailingStore(fail_on=2))
+        writer.append(FULL, b"ok")
+        writer.append(INCREMENTAL, b"boom")
+        with pytest.raises(StorageError, match="disk full"):
+            writer.flush()
+        writer.close()
+
+    def test_closed_writer_rejects_appends(self):
+        writer = BackgroundWriter(MemoryStore())
+        writer.close()
+        with pytest.raises(StorageError, match="closed"):
+            writer.append(FULL, b"")
+
+    def test_close_is_idempotent(self):
+        writer = BackgroundWriter(MemoryStore())
+        writer.close()
+        writer.close()
+
+    def test_unknown_kind_rejected_synchronously(self):
+        with BackgroundWriter(MemoryStore()) as writer:
+            with pytest.raises(StorageError, match="unknown checkpoint kind"):
+                writer.append("bogus", b"")
+
+    def test_recover_flushes_first(self):
+        root = build_root()
+        base = FullCheckpoint()
+        base.checkpoint(root)
+        backing = MemoryStore()
+        with BackgroundWriter(backing) as writer:
+            writer.append(FULL, base.getvalue())
+            root.mid.leaf.value = 9
+            delta = Checkpoint()
+            delta.checkpoint(root)
+            writer.append(INCREMENTAL, delta.getvalue())
+            table = writer.recover()  # implicit flush
+            recovered = table[root._ckpt_info.object_id]
+            assert structurally_equal(root, recovered, compare_ids=True)
+
+    def test_file_backed_end_to_end(self, tmp_path):
+        root = build_root()
+        base = FullCheckpoint()
+        base.checkpoint(root)
+        with BackgroundWriter(FileStore(str(tmp_path / "ckpt"))) as writer:
+            writer.append(FULL, base.getvalue())
+            writer.flush()
+        fresh = FileStore(str(tmp_path / "ckpt"))
+        recovered = fresh.recover()[root._ckpt_info.object_id]
+        assert structurally_equal(root, recovered, compare_ids=True)
+
+    def test_concurrent_producers(self):
+        backing = MemoryStore()
+        with BackgroundWriter(backing, max_queued=8) as writer:
+            errors = []
+
+            def produce(tag):
+                try:
+                    for i in range(20):
+                        writer.append(INCREMENTAL, f"{tag}-{i}".encode())
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=produce, args=(t,)) for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            writer.flush()
+            assert not errors
+            assert len(backing.epochs()) == 80

@@ -1,0 +1,78 @@
+"""Unit tests for identifier allocation and CheckpointInfo."""
+
+import threading
+
+from repro.core.ids import DEFAULT_ALLOCATOR, IdAllocator
+from repro.core.info import CheckpointInfo
+
+
+class TestIdAllocator:
+    def test_monotonic(self):
+        allocator = IdAllocator()
+        ids = [allocator.allocate() for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+        assert allocator.last_allocated == ids[-1]
+
+    def test_reset(self):
+        allocator = IdAllocator(start=10)
+        assert allocator.allocate() == 10
+        allocator.reset(start=100)
+        assert allocator.allocate() == 100
+
+    def test_advance_past(self):
+        allocator = IdAllocator()
+        allocator.allocate()
+        allocator.advance_past(500)
+        assert allocator.allocate() == 501
+
+    def test_advance_past_smaller_is_noop(self):
+        allocator = IdAllocator(start=1000)
+        allocator.allocate()
+        allocator.advance_past(5)
+        assert allocator.allocate() == 1001
+
+    def test_thread_safety(self):
+        allocator = IdAllocator()
+        collected = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [allocator.allocate() for _ in range(500)]
+            with lock:
+                collected.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(collected)) == 4000
+
+
+class TestCheckpointInfo:
+    def test_fresh_info_is_modified(self):
+        info = CheckpointInfo()
+        assert info.modified  # a new object must appear in the next checkpoint
+
+    def test_explicit_id(self):
+        info = CheckpointInfo(object_id=42, modified=False)
+        assert info.object_id == 42
+        assert not info.modified
+
+    def test_paper_interface(self):
+        info = CheckpointInfo()
+        info.reset_modified()
+        assert not info.modified
+        info.set_modified()
+        assert info.modified
+
+    def test_allocates_from_default_allocator(self):
+        before = DEFAULT_ALLOCATOR.last_allocated
+        info = CheckpointInfo()
+        assert info.object_id > before
+
+    def test_custom_allocator(self):
+        allocator = IdAllocator(start=7000)
+        info = CheckpointInfo(allocator=allocator)
+        assert info.object_id == 7000

@@ -1,0 +1,199 @@
+"""Unit tests for the durable checkpoint stores (incl. failure injection)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, FullCheckpoint
+from repro.core.errors import StorageError
+from repro.core.restore import structurally_equal
+from repro.core.storage import FULL, INCREMENTAL, FileStore, MemoryStore
+from tests.conftest import build_root
+
+
+def _persist_history(store):
+    """Build a root, persist a base + two deltas; returns the live root."""
+    root = build_root()
+    base = FullCheckpoint()
+    base.checkpoint(root)
+    store.append(FULL, base.getvalue())
+    root.mid.leaf.value = 77
+    delta = Checkpoint()
+    delta.checkpoint(root)
+    store.append(INCREMENTAL, delta.getvalue())
+    root.extra.label = "patched"
+    delta = Checkpoint()
+    delta.checkpoint(root)
+    store.append(INCREMENTAL, delta.getvalue())
+    return root
+
+
+class TestMemoryStore:
+    def test_append_and_recover(self):
+        store = MemoryStore()
+        root = _persist_history(store)
+        recovered = store.recover()[root._ckpt_info.object_id]
+        assert recovered.mid.leaf.value == 77
+        assert recovered.extra.label == "patched"
+        assert structurally_equal(root, recovered, compare_ids=True)
+
+    def test_epoch_indices(self):
+        store = MemoryStore()
+        _persist_history(store)
+        assert [e.index for e in store.epochs()] == [0, 1, 2]
+        assert [e.kind for e in store.epochs()] == [FULL, INCREMENTAL, INCREMENTAL]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError):
+            MemoryStore().append("bogus", b"")
+
+    def test_recover_without_full_raises(self):
+        store = MemoryStore()
+        store.append(INCREMENTAL, b"")
+        with pytest.raises(StorageError, match="no full checkpoint"):
+            store.recover()
+
+    def test_recovery_line_starts_at_latest_full(self):
+        store = MemoryStore()
+        _persist_history(store)
+        root = build_root()
+        base = FullCheckpoint()
+        base.checkpoint(root)
+        store.append(FULL, base.getvalue())
+        line = store.recovery_line()
+        assert [e.index for e in line] == [3]
+
+
+class TestFileStore:
+    def test_roundtrip(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        root = _persist_history(store)
+        fresh = FileStore(str(tmp_path / "ckpt"))
+        recovered = fresh.recover()[root._ckpt_info.object_id]
+        assert structurally_equal(root, recovered, compare_ids=True)
+
+    def test_manifest_written(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        with open(store.manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["format_version"] == 1
+        assert any(name.endswith("Root") or "Root" in name for name in manifest["classes"])
+
+    def test_torn_tail_discarded(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        root = _persist_history(store)
+        # Simulate a crash mid-write of epoch 3.
+        with open(os.path.join(store.directory, "epoch-000003.ckpt"), "wb") as fh:
+            fh.write(b"RCKP\x01\x00\x10")
+        fresh = FileStore(store.directory)
+        assert len(fresh.epochs()) == 3
+        recovered = fresh.recover()[root._ckpt_info.object_id]
+        assert recovered.extra.label == "patched"
+
+    def test_corrupt_payload_ends_sequence(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        path = os.path.join(store.directory, "epoch-000001.ckpt")
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF  # flip a payload bit -> CRC mismatch
+        with open(path, "wb") as fh:
+            fh.write(data)
+        fresh = FileStore(store.directory)
+        # Epoch 1 is bad; 2 cannot be applied over a hole: only epoch 0 left.
+        assert [e.index for e in fresh.epochs()] == [0]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        path = os.path.join(store.directory, "epoch-000000.ckpt")
+        data = bytearray(open(path, "rb").read())
+        data[:4] = b"XXXX"
+        with open(path, "wb") as fh:
+            fh.write(data)
+        assert FileStore(store.directory).epochs() == []
+
+    def test_append_continues_numbering(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        fresh = FileStore(store.directory)
+        index = fresh.append(INCREMENTAL, b"")
+        assert index == 3
+
+    def test_missing_manifest_raises_on_recover(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        os.remove(store.manifest_path)
+        with pytest.raises(StorageError, match="missing manifest"):
+            FileStore(store.directory).recover()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        with open(store.manifest_path, "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(StorageError, match="corrupt manifest"):
+            FileStore(store.directory).recover()
+
+    def test_stray_files_ignored(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        open(os.path.join(store.directory, "epoch-junk.ckpt"), "w").close()
+        open(os.path.join(store.directory, "README"), "w").close()
+        assert len(FileStore(store.directory).epochs()) == 3
+
+
+class TestCompressedFileStore:
+    def test_roundtrip_with_compression(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"), compress=True)
+        root = _persist_history(store)
+        fresh = FileStore(str(tmp_path / "ckpt"))  # reader needs no flag
+        recovered = fresh.recover()[root._ckpt_info.object_id]
+        assert structurally_equal(root, recovered, compare_ids=True)
+
+    def test_compression_shrinks_redundant_epochs(self, tmp_path):
+        import os
+
+        plain_dir = str(tmp_path / "plain")
+        packed_dir = str(tmp_path / "packed")
+        _persist_history(FileStore(plain_dir))
+        _persist_history(FileStore(packed_dir, compress=True))
+
+        def total(directory):
+            return sum(
+                os.path.getsize(os.path.join(directory, name))
+                for name in os.listdir(directory)
+                if name.endswith(".ckpt")
+            )
+
+        assert total(packed_dir) < total(plain_dir)
+
+    def test_mixed_plain_and_compressed_chain(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        plain = FileStore(directory)
+        root = _persist_history(plain)  # plain epochs 0-2
+        packed = FileStore(directory, compress=True)
+        root.mid.leaf.value = 4242
+        delta = Checkpoint()
+        delta.checkpoint(root)
+        packed.append(INCREMENTAL, delta.getvalue())  # compressed epoch 3
+        recovered = FileStore(directory).recover()[root._ckpt_info.object_id]
+        assert recovered.mid.leaf.value == 4242
+
+    def test_corrupt_compressed_payload_rejected(self, tmp_path):
+        import os
+        import struct
+        import zlib as _zlib
+
+        store = FileStore(str(tmp_path / "ckpt"), compress=True)
+        _persist_history(store)
+        # Craft a frame whose CRC matches garbage that fails to inflate.
+        garbage = b"not-deflate-data"
+        header = struct.pack(
+            "<4sBBII", b"RCKP", 1, 2, len(garbage), _zlib.crc32(garbage)
+        )
+        with open(os.path.join(store.directory, "epoch-000001.ckpt"), "wb") as fh:
+            fh.write(header + garbage)
+        fresh = FileStore(store.directory)
+        assert [e.index for e in fresh.epochs()] == [0]

@@ -1,0 +1,64 @@
+"""Integration: the engine persisting through the asynchronous writer."""
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.programs import image_division, tiny_source
+from repro.core.restore import state_digest
+from repro.core.storage import BackgroundWriter, FileStore, MemoryStore
+
+
+class TestEngineWithBackgroundWriter:
+    def test_async_persistence_recovers_identically(self, tmp_path):
+        backing = FileStore(str(tmp_path / "ckpt"))
+        writer = BackgroundWriter(backing)
+        engine = AnalysisEngine(
+            tiny_source(),
+            division=image_division(),
+            strategy="incremental",
+            store=writer,
+        )
+        engine.run()
+        writer.close()
+
+        fresh = FileStore(backing.directory)
+        assert len(fresh.epochs()) == 1 + len(engine.report.records)
+        recovered = AnalysisEngine.recover(
+            tiny_source(), fresh, division=image_division()
+        )
+        assert state_digest(recovered.attributes, include_ids=True) == state_digest(
+            engine.attributes, include_ids=True
+        )
+
+    def test_async_epochs_ordered_full_then_deltas(self):
+        backing = MemoryStore()
+        with BackgroundWriter(backing) as writer:
+            engine = AnalysisEngine(
+                tiny_source(),
+                division=image_division(),
+                strategy="specialized",
+                store=writer,
+            )
+            engine.run()
+            writer.flush()
+            kinds = [e.kind for e in backing.epochs()]
+            assert kinds[0] == "full"
+            assert set(kinds[1:]) == {"incremental"}
+
+    def test_multiple_engines_share_one_process(self):
+        """Distinct engines (distinct programs) coexist: shared class
+        registry, separate attribute populations and spec routines."""
+        from repro.analysis.programs import image_pipeline_source
+
+        first = AnalysisEngine(tiny_source(), division=image_division())
+        second = AnalysisEngine(
+            image_pipeline_source(kernels=1), division=image_division()
+        )
+        first.run()
+        second.run()
+        assert first.program.node_count != second.program.node_count
+        assert len(first.attributes.entries) == first.program.node_count
+        assert len(second.attributes.entries) == second.program.node_count
+        # Specialized routines are engine-local but structurally identical.
+        assert (
+            first.specialized_for("BTA").source
+            == second.specialized_for("BTA").source
+        )

@@ -1,0 +1,105 @@
+"""Error-path tests for the code generator and the abstract machine."""
+
+import pytest
+
+from repro.core.errors import SpecializationError
+from repro.core.streams import DataOutputStream
+from repro.spec import codegen, ir
+from repro.vm.machine import MeteredMachine
+from tests.conftest import build_root
+
+
+class TestCodegenErrors:
+    def test_virtual_call_cannot_be_emitted(self):
+        body = ir.Seq(
+            [ir.ExprStmt(ir.MethodCall(ir.Var("root"), "record", [ir.Var("out")]))]
+        )
+        with pytest.raises(SpecializationError, match="cannot be emitted"):
+            codegen.emit(body, "bad")
+
+    def test_class_serial_cannot_be_emitted(self):
+        body = ir.Seq([ir.Write("int", ir.ClassSerialOf(ir.Var("root")))])
+        with pytest.raises(SpecializationError, match="cannot be emitted"):
+            codegen.emit(body, "bad_serial")
+
+    def test_fold_children_cannot_be_emitted(self):
+        body = ir.Seq([ir.FoldChildren(ir.Var("root"))])
+        with pytest.raises(SpecializationError, match="cannot be emitted"):
+            codegen.emit(body, "bad_fold")
+
+    def test_empty_body_compiles_to_noop(self):
+        source, fn = codegen.emit(ir.Seq([]), "noop")
+        assert "pass" in source
+        out = DataOutputStream()
+        fn(build_root(), out)
+        assert out.size == 0
+
+    def test_only_used_writers_bound(self):
+        body = ir.Seq([ir.Write("float", ir.Const(1.5))])
+        source, _ = codegen.emit(body, "floats_only")
+        assert "_w_f = out.write_float64" in source
+        assert "_w_i" not in source
+
+    def test_residual_scalar_list_loop(self):
+        root = build_root()
+        body = ir.Seq(
+            [
+                ir.WriteScalarList(
+                    "int", ir.FieldGet(ir.FieldGet(ir.Var("root"), "_f_mid"), "_f_notes")
+                )
+            ]
+        )
+        source, fn = codegen.emit(body, "list_loop")
+        out = DataOutputStream()
+        fn(root, out)
+        assert out.size == 4 + 3 * 4  # count + three notes
+
+    def test_residual_record_child_ids_loop(self):
+        root = build_root()
+        body = ir.Seq([ir.RecordChildIds(ir.FieldGet(ir.Var("root"), "_f_kids"))])
+        _, fn = codegen.emit(body, "ids_loop")
+        out = DataOutputStream()
+        fn(root, out)
+        assert out.size == 4 + 2 * 4  # count + two kid ids
+
+    def test_emitted_if_with_empty_then_gets_pass(self):
+        body = ir.Seq(
+            [ir.If(ir.IsNone(ir.FieldGet(ir.Var("root"), "_f_extra")), ir.Seq([]))]
+        )
+        source, fn = codegen.emit(body, "empty_if")
+        assert "pass" in source
+        fn(build_root(), DataOutputStream())
+
+
+class TestMachineErrors:
+    def test_unknown_statement_rejected(self):
+        class Alien(ir.Stmt):
+            __slots__ = ()
+
+        machine = MeteredMachine()
+        with pytest.raises(SpecializationError, match="cannot execute"):
+            machine._exec(Alien(), {}, generic=False)
+
+    def test_unknown_expression_rejected(self):
+        class AlienExpr(ir.Expr):
+            __slots__ = ()
+
+        machine = MeteredMachine()
+        with pytest.raises(SpecializationError, match="cannot evaluate"):
+            machine._eval(AlienExpr(), {}, generic=False)
+
+    def test_undispatched_method_rejected(self):
+        machine = MeteredMachine()
+        root = build_root()
+        call = ir.MethodCall(ir.Var("o"), "teleport", [])
+        with pytest.raises(SpecializationError, match="cannot dispatch"):
+            machine._call(call, {"o": root}, generic=True)
+
+    def test_guard_execution(self):
+        from repro.core.errors import PatternViolationError
+
+        machine = MeteredMachine()
+        body = ir.Seq([ir.Guard(ir.Const(False), "boom")])
+        with pytest.raises(PatternViolationError, match="boom"):
+            machine._exec(body, {}, generic=False)
+        assert machine.counts["test"] == 1

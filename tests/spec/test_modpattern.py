@@ -1,0 +1,103 @@
+"""Unit tests for modification-pattern declarations."""
+
+import pytest
+
+from repro.core.checkpoint import reset_flags
+from repro.core.errors import SpecializationError
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Shape
+from repro.synthetic.structures import build_structure
+from tests.conftest import build_root
+
+
+@pytest.fixture
+def shape():
+    return Shape.of(build_root())
+
+
+class TestConstructors:
+    def test_all_dynamic(self, shape):
+        pattern = ModificationPattern.all_dynamic(shape)
+        assert all(
+            pattern.node_may_be_modified(shape.node_at(p)) for p in shape.paths()
+        )
+        assert pattern.quiescent_paths() == []
+
+    def test_none_modified(self, shape):
+        pattern = ModificationPattern.none_modified(shape)
+        assert not pattern.subtree_may_be_modified(shape.root)
+
+    def test_only(self, shape):
+        pattern = ModificationPattern.only(shape, [("mid", "leaf")])
+        assert pattern.node_may_be_modified(shape.node_at(("mid", "leaf")))
+        assert not pattern.node_may_be_modified(shape.node_at(("mid",)))
+        assert pattern.subtree_may_be_modified(shape.node_at(("mid",)))
+        assert not pattern.subtree_may_be_modified(shape.node_at(("extra",)))
+
+    def test_only_rejects_unknown_paths(self, shape):
+        with pytest.raises(SpecializationError, match="missing from the shape"):
+            ModificationPattern.only(shape, [("nope",)])
+
+    def test_subtrees(self, shape):
+        pattern = ModificationPattern.subtrees(shape, [("mid",)])
+        assert pattern.node_may_be_modified(shape.node_at(("mid",)))
+        assert pattern.node_may_be_modified(shape.node_at(("mid", "leaf")))
+        assert not pattern.node_may_be_modified(shape.root)
+
+    def test_subtrees_rejects_empty_match(self, shape):
+        with pytest.raises(SpecializationError):
+            ModificationPattern.subtrees(shape, [("ghost",)])
+
+
+class TestSyntheticPatterns:
+    def test_restricted_to_lists(self):
+        compound = build_structure(num_lists=3, list_length=2, ints_per_element=1)
+        shape = Shape.of(compound)
+        pattern = ModificationPattern.restricted_to_lists(shape, ["list0", "list2"])
+        assert pattern.node_may_be_modified(shape.node_at(("list0",)))
+        assert pattern.node_may_be_modified(shape.node_at(("list0", "next")))
+        assert not pattern.subtree_may_be_modified(shape.node_at(("list1",)))
+        assert pattern.node_may_be_modified(shape.node_at(("list2",)))
+
+    def test_last_element_of_lists(self):
+        compound = build_structure(num_lists=2, list_length=3, ints_per_element=1)
+        shape = Shape.of(compound)
+        pattern = ModificationPattern.last_element_of_lists(shape, ["list0"])
+        deepest = ("list0", "next", "next")
+        assert pattern.node_may_be_modified(shape.node_at(deepest))
+        assert not pattern.node_may_be_modified(shape.node_at(("list0",)))
+        assert not pattern.node_may_be_modified(shape.node_at(("list0", "next")))
+        # The spine must still be traversed to reach the tail:
+        assert pattern.subtree_may_be_modified(shape.node_at(("list0",)))
+        assert not pattern.subtree_may_be_modified(shape.node_at(("list1",)))
+
+    def test_unknown_list_field_rejected(self):
+        compound = build_structure(num_lists=1, list_length=1, ints_per_element=1)
+        shape = Shape.of(compound)
+        with pytest.raises(SpecializationError):
+            ModificationPattern.restricted_to_lists(shape, ["list9"])
+
+
+class TestValidation:
+    def test_validate_against_clean_structure(self, shape):
+        root = build_root()
+        reset_flags(root)
+        pattern = ModificationPattern.only(shape, [("mid", "leaf")])
+        assert pattern.validate_against(root) == []
+
+    def test_validate_reports_violations(self, shape):
+        root = build_root()
+        reset_flags(root)
+        pattern = ModificationPattern.only(shape, [("mid", "leaf")])
+        root.extra.value = 9  # violates: extra declared quiescent
+        root.mid.leaf.value = 1  # allowed
+        violations = pattern.validate_against(root)
+        assert violations == [("extra",)]
+
+    def test_pattern_for_wrong_shape_rejected_by_specclass(self, shape):
+        from repro.spec.specclass import SpecClass
+
+        other_shape = Shape.of(build_root())
+        pattern = ModificationPattern.all_dynamic(other_shape)
+        with pytest.raises(SpecializationError):
+            SpecClass(shape, pattern)

@@ -1,0 +1,78 @@
+"""Property-based consistency tests for shapes and modification patterns."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Shape
+from repro.synthetic.structures import build_structure
+
+
+def _shape(num_lists, list_length):
+    return Shape.of(build_structure(num_lists, list_length, 1))
+
+
+@st.composite
+def shape_and_paths(draw):
+    num_lists = draw(st.integers(1, 3))
+    list_length = draw(st.integers(1, 4))
+    shape = _shape(num_lists, list_length)
+    paths = draw(st.sets(st.sampled_from(shape.paths()), max_size=shape.node_count()))
+    return shape, sorted(paths)
+
+
+class TestPatternConsistency:
+    @settings(max_examples=50, deadline=None)
+    @given(shape_and_paths())
+    def test_subtree_query_matches_node_queries(self, case):
+        shape, paths = case
+        pattern = ModificationPattern.only(shape, paths)
+        for node in shape.root.walk():
+            expected = any(
+                pattern.node_may_be_modified(descendant)
+                for descendant in node.walk()
+            )
+            assert pattern.subtree_may_be_modified(node) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(shape_and_paths())
+    def test_quiescent_and_live_partition_all_paths(self, case):
+        shape, paths = case
+        pattern = ModificationPattern.only(shape, paths)
+        quiescent = set(pattern.quiescent_paths())
+        live = set(pattern.may_modify_paths())
+        assert quiescent | live == set(shape.paths())
+        assert quiescent & live == set()
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape_and_paths())
+    def test_specialized_source_never_reads_dead_subtrees(self, case):
+        """Positions in fully quiescent subtrees leave no trace in the
+        residual code: the structural access for their list field only
+        appears when some member's subtree is live."""
+        from repro.spec.specclass import SpecClass, SpecializedCheckpointer
+
+        shape, paths = case
+        pattern = ModificationPattern.only(shape, paths)
+        fn = SpecializedCheckpointer(
+            SpecClass(shape, pattern, name=f"prop_pat_{abs(hash(tuple(paths))) % 10**8}")
+        )
+        root_recordable = pattern.node_may_be_modified(shape.root)
+        for edge in shape.root.edges:
+            live = pattern.subtree_may_be_modified(edge.node)
+            accessed = f"_f_{edge.field}" in fn.source
+            if root_recordable:
+                # The root's record writes every child id: all fields appear.
+                assert accessed
+            else:
+                assert accessed == live
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape_and_paths())
+    def test_all_dynamic_is_upper_bound(self, case):
+        shape, paths = case
+        restricted = ModificationPattern.only(shape, paths)
+        everything = ModificationPattern.all_dynamic(shape)
+        for node in shape.root.walk():
+            if restricted.subtree_may_be_modified(node):
+                assert everything.subtree_may_be_modified(node)

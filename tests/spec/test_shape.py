@@ -1,0 +1,93 @@
+"""Unit tests for Shape derivation from prototypes."""
+
+import pytest
+
+from repro.core.errors import CycleError, SpecializationError
+from repro.core.fields import child
+from repro.spec.shape import Shape
+from tests.conftest import Leaf, Mid, Root, build_root, make_class
+
+
+class TestShapeOf:
+    def test_node_classes(self, root):
+        shape = Shape.of(root)
+        assert shape.root.cls is Root
+        assert shape.node_at(("mid",)).cls is Mid
+        assert shape.node_at(("mid", "leaf")).cls is Leaf
+        assert shape.node_at(("extra",)).cls is Leaf
+
+    def test_child_list_paths(self, root):
+        shape = Shape.of(root)
+        assert shape.node_at((("kids", 0),)).cls is Leaf
+        assert shape.node_at((("kids", 1),)).cls is Leaf
+        assert shape.root.list_lengths == {"kids": 2}
+
+    def test_absent_children_recorded(self):
+        shape = Shape.of(build_root(with_extra=False))
+        assert "extra" in shape.root.absent_children
+        assert shape.root.child_node("extra") is None
+
+    def test_node_count_and_paths(self, root):
+        shape = Shape.of(root)
+        assert shape.node_count() == 6
+        assert () in shape.paths()
+        assert ("mid", "leaf") in shape.paths()
+
+    def test_unknown_path_raises(self, root):
+        shape = Shape.of(root)
+        with pytest.raises(SpecializationError):
+            shape.node_at(("nonexistent",))
+
+    def test_cycle_rejected(self):
+        node_cls = make_class("ShapeCycle", next=child())
+        a, b = node_cls(), node_cls()
+        a.next = b
+        b.next = a
+        with pytest.raises(CycleError):
+            Shape.of(a)
+
+    def test_shared_object_rejected(self):
+        holder = make_class("ShapeShare", a=child(Leaf), b=child(Leaf))
+        shared = Leaf()
+        with pytest.raises(SpecializationError, match="shares"):
+            Shape.of(holder(a=shared, b=shared))
+
+    def test_list_nodes_ordered(self, root):
+        shape = Shape.of(root)
+        nodes = shape.root.list_nodes("kids")
+        assert [n.path for n in nodes] == [(("kids", 0),), (("kids", 1),)]
+
+    def test_edges_in_schema_order(self, root):
+        shape = Shape.of(root)
+        fields = [edge.field for edge in shape.root.edges]
+        assert fields == ["mid", "extra", "kids", "kids"]
+
+
+class TestShapeMatching:
+    def test_describes_same_layout(self):
+        a = Shape.of(build_root())
+        b = Shape.of(build_root())
+        assert a.describes(b)
+        assert a.matches(build_root())
+
+    def test_rejects_different_list_length(self):
+        a = Shape.of(build_root(kid_count=2))
+        assert not a.matches(build_root(kid_count=3))
+
+    def test_rejects_missing_child(self):
+        a = Shape.of(build_root(with_extra=True))
+        assert not a.matches(build_root(with_extra=False))
+
+    def test_rejects_cyclic_candidate(self):
+        node_cls = make_class("MatchCycle", next=child())
+        a = node_cls()
+        shape = Shape.of(a)
+        b = node_cls()
+        b.next = b
+        assert not shape.matches(b)
+
+    def test_walk_is_preorder(self, root):
+        shape = Shape.of(root)
+        paths = [n.path for n in shape.root.walk()]
+        assert paths[0] == ()
+        assert paths.index(("mid",)) < paths.index(("mid", "leaf"))

@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic experiment runner."""
+
+import pytest
+
+from repro.synthetic.runner import (
+    SyntheticConfig,
+    SyntheticWorkload,
+    run_variant,
+    run_variants,
+    speedup,
+)
+from repro.vm.backends import HARISSA
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return SyntheticWorkload(
+        SyntheticConfig(
+            num_structures=60,
+            num_lists=3,
+            list_length=3,
+            ints_per_element=2,
+            percent_modified=0.5,
+            seed=11,
+        )
+    )
+
+
+class TestWorkload:
+    def test_modified_count_matches_percent(self, workload):
+        eligible = 60 * 9
+        assert workload.modified_count == round(0.5 * eligible)
+
+    def test_pattern_covers_eligible_paths(self, workload):
+        assert len(workload.pattern.may_modify_paths()) == 9
+
+    def test_describe(self):
+        config = SyntheticConfig(10, 5, 5, 1, 0.25, modified_lists=2, last_only=True)
+        text = config.describe()
+        assert "25%" in text and "2 modifiable lists" in text and "last element" in text
+
+
+class TestVariants:
+    def test_unknown_variant_rejected(self, workload):
+        with pytest.raises(ValueError, match="unknown variant"):
+            run_variant(workload, "quantum")
+
+    def test_incremental_and_specialized_bytes_identical(self, workload):
+        incremental = run_variant(workload, "incremental", meter=False)
+        spec_struct = run_variant(workload, "spec_struct", meter=False)
+        spec_mod = run_variant(workload, "spec_struct_mod", meter=False)
+        reflective = run_variant(workload, "reflective", meter=False)
+        assert (
+            incremental.checkpoint_bytes
+            == spec_struct.checkpoint_bytes
+            == spec_mod.checkpoint_bytes
+            == reflective.checkpoint_bytes
+        )
+
+    def test_full_records_everything(self, workload):
+        full = run_variant(workload, "full", meter=False)
+        incremental = run_variant(workload, "incremental", meter=False)
+        assert full.checkpoint_bytes > incremental.checkpoint_bytes
+        # 60 structures x 10 objects, each entry: id + serial + payload.
+        per_object_ids = 2 * 4
+        assert full.checkpoint_bytes >= 600 * per_object_ids
+
+    def test_snapshot_makes_runs_repeatable(self, workload):
+        first = run_variant(workload, "incremental", meter=False)
+        second = run_variant(workload, "incremental", meter=False)
+        assert first.checkpoint_bytes == second.checkpoint_bytes
+
+    def test_meter_sampling_scales_counts(self, workload):
+        sampled = run_variant(workload, "incremental", meter_sample=30)
+        exact = run_variant(workload, "incremental", meter_sample=None)
+        # Sampling halves the metered population then scales by 2: the
+        # test-op count (structure-shape-determined) must match exactly.
+        assert sampled.counts["test"] == exact.counts["test"]
+
+    def test_spec_source_attached(self, workload):
+        result = run_variant(workload, "spec_struct", meter=False)
+        assert "def spec_struct" in result.spec_source
+
+    def test_run_variants_convenience(self):
+        config = SyntheticConfig(20, 2, 2, 1, 1.0, seed=3)
+        results = run_variants(config, variants=("full", "incremental"), meter=False)
+        assert set(results) == {"full", "incremental"}
+
+
+class TestSpeedups:
+    def test_wall_speedup(self, workload):
+        full = run_variant(workload, "full", meter=False)
+        incremental = run_variant(workload, "incremental", meter=False)
+        assert speedup(full, incremental) == pytest.approx(
+            full.wall_seconds / incremental.wall_seconds
+        )
+
+    def test_simulated_speedup_requires_counts(self, workload):
+        full = run_variant(workload, "full", meter=False)
+        incremental = run_variant(workload, "incremental", meter=False)
+        with pytest.raises(ValueError):
+            speedup(full, incremental, HARISSA)
+
+    def test_specialization_wins_on_harissa(self):
+        config = SyntheticConfig(
+            100, 5, 5, 1, 0.25, modified_lists=1, last_only=True, seed=5
+        )
+        workload = SyntheticWorkload(config)
+        incremental = run_variant(workload, "incremental", meter_sample=None)
+        spec = run_variant(workload, "spec_struct_mod", meter_sample=None)
+        assert speedup(incremental, spec, HARISSA) > 5.0
+
+    def test_population_size_invariance_of_sim_speedup(self):
+        """Op counts are additive: speedups are independent of scale."""
+        ratios = []
+        for count in (50, 200):
+            config = SyntheticConfig(count, 3, 5, 1, 0.25, seed=21)
+            workload = SyntheticWorkload(config)
+            incremental = run_variant(workload, "incremental", meter_sample=None)
+            spec = run_variant(workload, "spec_struct", meter_sample=None)
+            ratios.append(speedup(incremental, spec, HARISSA))
+        assert ratios[0] == pytest.approx(ratios[1], rel=0.05)

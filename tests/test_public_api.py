@@ -1,0 +1,144 @@
+"""Coverage of the public API surface and assorted small behaviours."""
+
+import pytest
+
+import repro
+from repro.analysis.engine import EngineReport, IterationRecord
+from repro.core.errors import SpecializationError
+from repro.spec.shape import Shape
+from repro.spec.specclass import SpecClass, SpecCompiler
+from tests.conftest import build_root
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstring_mentions_paper(self):
+        assert "Lawall" in repro.__doc__ and "DSN 2000" in repro.__doc__
+
+
+class TestSpecClassFrontend:
+    def test_for_prototype_convenience(self):
+        root = build_root()
+        spec = SpecClass.for_prototype(root, name="proto_spec")
+        assert spec.shape.root.cls.__name__ == "Root"
+        fn = SpecCompiler().compile(spec)
+        assert fn.spec is spec
+
+    def test_cache_distinguishes_guards(self):
+        shape = Shape.of(build_root())
+        compiler = SpecCompiler()
+        plain = compiler.compile(SpecClass(shape, name="k"))
+        guarded = compiler.compile(SpecClass(shape, name="k", guards=True))
+        assert plain is not guarded
+        assert len(compiler) == 2
+
+    def test_cache_distinguishes_patterns(self):
+        shape = Shape.of(build_root())
+        compiler = SpecCompiler()
+        all_dynamic = compiler.compile(SpecClass(shape, name="k2"))
+        narrowed = compiler.compile(
+            SpecClass(
+                shape,
+                repro.ModificationPattern.only(shape, [("mid",)]),
+                name="k2",
+            )
+        )
+        assert all_dynamic is not narrowed
+
+    def test_cache_distinguishes_names(self):
+        shape = Shape.of(build_root())
+        compiler = SpecCompiler()
+        first = compiler.compile(SpecClass(shape, name="name_a"))
+        second = compiler.compile(SpecClass(shape, name="name_b"))
+        assert first is not second
+        assert first.source_lines()[0] != second.source_lines()[0]
+
+    def test_pattern_shape_mismatch_rejected(self):
+        shape_a = Shape.of(build_root())
+        shape_b = Shape.of(build_root())
+        pattern = repro.ModificationPattern.all_dynamic(shape_b)
+        with pytest.raises(SpecializationError):
+            SpecClass(shape_a, pattern)
+
+
+class TestEngineReport:
+    def _record(self, phase, size, seconds=0.5):
+        return IterationRecord(
+            phase=phase, iteration=1, wall_seconds=seconds, checkpoint_bytes=size
+        )
+
+    def test_empty_phase_min_max(self):
+        report = EngineReport(strategy="incremental")
+        assert report.min_max_bytes("BTA") == (0, 0)
+        assert report.total_checkpoint_seconds("BTA") == 0
+        assert report.total_checkpoint_bytes() == 0
+
+    def test_aggregations(self):
+        report = EngineReport(strategy="incremental")
+        report.records = [
+            self._record("SE", 100, 1.0),
+            self._record("BTA", 50, 0.25),
+            self._record("BTA", 10, 0.25),
+        ]
+        assert report.min_max_bytes("BTA") == (10, 50)
+        assert report.total_checkpoint_bytes("BTA") == 60
+        assert report.total_checkpoint_bytes() == 160
+        assert report.total_checkpoint_seconds() == pytest.approx(1.5)
+        assert len(report.phase_records("SE")) == 1
+
+
+class TestIrPretty:
+    def test_pretty_covers_structures(self):
+        from repro.spec import ir
+
+        tree = ir.Seq(
+            [
+                ir.Assign("n0", ir.FieldGet(ir.Var("root"), "_f_mid")),
+                ir.If(
+                    ir.FieldGet(ir.Var("i0"), "modified"),
+                    ir.Seq([ir.Write("int", ir.Const(1))]),
+                    ir.Seq([]),
+                ),
+            ]
+        )
+        text = ir.pretty(tree)
+        assert "n0 = " in text
+        assert "if " in text
+        assert "else:" in text
+        assert ir.pretty(ir.Seq([])) == "pass"
+
+
+class TestSyntheticDescribe:
+    def test_describe_mentions_all_knobs(self):
+        from repro.synthetic.runner import SyntheticConfig
+
+        config = SyntheticConfig(
+            7, 5, 3, 10, 0.5, modified_lists=2, last_only=True
+        )
+        text = config.describe()
+        for fragment in ("7 structures", "5 lists x 3", "10 ints/elt",
+                         "50% modified", "2 modifiable", "last element"):
+            assert fragment in text
+
+    def test_invalid_percent_rejected(self):
+        from repro.synthetic.runner import SyntheticConfig, SyntheticWorkload
+
+        with pytest.raises(ValueError):
+            SyntheticWorkload(SyntheticConfig(5, 2, 2, 1, 1.5))
+
+
+class TestShapeRepr:
+    def test_reprs_do_not_crash(self):
+        root = build_root()
+        shape = Shape.of(root)
+        assert "Root" in repr(shape)
+        assert repr(shape.root)
+        assert repr(shape.root.edges[0])
+        pattern = repro.ModificationPattern.all_dynamic(shape)
+        assert "positions" in repr(pattern)

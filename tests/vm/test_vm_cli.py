@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro.vm`` op-breakdown command line."""
+
+from repro.vm.__main__ import main
+
+
+class TestVmCli:
+    def test_breakdown_output(self, capsys):
+        assert main(["--structures", "30", "--percent", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "vcall" in out
+        assert "bytes" in out
+        assert "speedup vs incremental on Harissa" in out
+        # Specialized code performs no virtual or accessor calls.
+        for line in out.splitlines():
+            if line.startswith("vcall") or line.startswith("acc "):
+                columns = line.split()
+                assert columns[-1] == "0" and columns[-2] == "0"
+
+    def test_last_only_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "--structures",
+                    "30",
+                    "--modified-lists",
+                    "1",
+                    "--last-only",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "last element only" in out
+
+    def test_incremental_and_spec_bytes_match(self, capsys):
+        main(["--structures", "25"])
+        out = capsys.readouterr().out
+        byte_line = next(l for l in out.splitlines() if l.startswith("bytes"))
+        values = byte_line.split()[1:]
+        assert values[1] == values[2] == values[3]  # inc == spec == spec_mod

@@ -1,0 +1,152 @@
+"""Calibration of the VM cost profiles (repro/vm/backends.py).
+
+Reproducible record of how the JDK 1.2 JIT / HotSpot / Harissa profiles
+were obtained:
+
+1. op-count vectors are measured (via the metered abstract machine) for
+   the eleven synthetic configurations whose speedups the paper reports;
+2. per-op costs are searched (random-restart hill climbing in log space,
+   within physically motivated bounds) to minimize the squared log-error
+   against the paper's target ratios;
+3. cross-backend absolute-time ratios (Table 2) anchor the Sun VM
+   profiles relative to Harissa.
+
+Run:  python tools/fit_profiles.py
+Prints fitted costs and the target-vs-fit table; backends.py holds the
+(rounded) committed values.
+"""
+
+import math
+import random
+
+from repro.synthetic.runner import SyntheticConfig, SyntheticWorkload, run_variant
+
+POPULATION = 300
+
+CONFIGS = {
+    "f7_25_10": (SyntheticConfig(POPULATION, 5, 5, 10, 0.25), ("full", "incremental")),
+    "f7_100_10": (SyntheticConfig(POPULATION, 5, 5, 10, 1.0), ("full", "incremental")),
+    "f8_100_10": (SyntheticConfig(POPULATION, 5, 5, 10, 1.0), ("incremental", "spec_struct")),
+    "f8_25_1": (SyntheticConfig(POPULATION, 5, 5, 1, 0.25), ("incremental", "spec_struct")),
+    "f9_L1_25_1": (SyntheticConfig(POPULATION, 5, 5, 1, 0.25, modified_lists=1), ("incremental", "spec_struct_mod")),
+    "f9_L5_100_1": (SyntheticConfig(POPULATION, 5, 5, 1, 1.0, modified_lists=5), ("incremental", "spec_struct_mod")),
+    "f10_L1_25_1": (SyntheticConfig(POPULATION, 5, 5, 1, 0.25, modified_lists=1, last_only=True), ("incremental", "spec_struct_mod")),
+    "f10_L5_100_1": (SyntheticConfig(POPULATION, 5, 5, 1, 1.0, modified_lists=5, last_only=True), ("incremental", "spec_struct_mod")),
+    "f10_L1_25_10": (SyntheticConfig(POPULATION, 5, 5, 10, 0.25, modified_lists=1, last_only=True), ("incremental", "spec_struct_mod")),
+    "f10_L5_100_10": (SyntheticConfig(POPULATION, 5, 5, 10, 1.0, modified_lists=5, last_only=True), ("incremental", "spec_struct_mod")),
+}
+
+HARISSA_TARGETS = [
+    ("f7_25_10", "full", "incremental", 3.2, 1.2),
+    ("f7_100_10", "full", "incremental", 1.0, 1.0),
+    ("f8_100_10", "incremental", "spec_struct", 1.5, 1.5),
+    ("f8_25_1", "incremental", "spec_struct", 3.5, 1.5),
+    ("f9_L1_25_1", "incremental", "spec_struct_mod", 8.5, 1.0),
+    ("f9_L5_100_1", "incremental", "spec_struct_mod", 2.0, 1.0),
+    ("f10_L1_25_1", "incremental", "spec_struct_mod", 15.0, 1.5),
+    ("f10_L5_100_1", "incremental", "spec_struct_mod", 5.0, 1.0),
+    ("f10_L1_25_10", "incremental", "spec_struct_mod", 11.0, 1.0),
+    ("f10_L5_100_10", "incremental", "spec_struct_mod", 2.0, 1.0),
+]
+HARISSA_BOUNDS = {
+    "vcall": (15, 120), "acc": (8, 80), "getfield": (3, 30), "test": (2, 12),
+    "write_int": (8, 60), "call": (4, 160), "flag_reset": (2, 12), "iter": (2, 12),
+}
+
+JDK_TARGETS = [
+    ("f10_L1_25_10", "incremental", "spec_struct_mod", 6.0, 1.5),
+    ("f10_L5_100_10", "incremental", "spec_struct_mod", 1.8, 1.0),
+    ("f10_L1_25_1", "incremental", "spec_struct_mod", 6.5, 1.0),
+    ("f10_L5_100_1", "incremental", "spec_struct_mod", 2.5, 1.0),
+    ("f8_100_10", "incremental", "spec_struct", 1.4, 0.5),
+]
+JDK_CROSS = [("f10_L5_100_10", "incremental", 2.5, 1.5), ("f10_L1_25_10", "incremental", 2.5, 0.8)]
+JDK_BOUNDS = {
+    "vcall": (80, 400), "acc": (50, 300), "getfield": (10, 60), "test": (5, 40),
+    "write_int": (40, 250), "call": (20, 450), "flag_reset": (5, 40), "iter": (5, 40),
+}
+
+HOTSPOT_TARGETS = [
+    ("f10_L1_25_1", "incremental", "spec_struct_mod", 12.0, 1.5),
+    ("f10_L5_100_1", "incremental", "spec_struct_mod", 4.0, 1.0),
+    ("f10_L1_25_10", "incremental", "spec_struct_mod", 9.0, 1.0),
+    ("f10_L5_100_10", "incremental", "spec_struct_mod", 2.0, 1.0),
+    ("f8_100_10", "incremental", "spec_struct", 1.3, 0.5),
+]
+HOTSPOT_CROSS = [("f10_L5_100_10", "incremental", 0.55, 1.5), ("f10_L1_25_1", "incremental", 0.55, 0.8)]
+HOTSPOT_BOUNDS = {
+    "vcall": (15, 120), "acc": (2, 20), "getfield": (2, 20), "test": (1, 10),
+    "write_int": (6, 60), "call": (4, 160), "flag_reset": (1, 10), "iter": (2, 12),
+}
+
+
+def measure_counts():
+    data = {}
+    for key, (config, variants) in CONFIGS.items():
+        workload = SyntheticWorkload(config)
+        data[key] = {
+            variant: run_variant(workload, variant, meter_sample=POPULATION).counts.counts
+            for variant in variants
+        }
+        print(f"measured {key}")
+    return data
+
+
+def seconds(counts, costs):
+    return sum(counts[op] * costs.get(op, 0.0) for op in counts)
+
+
+def fit(data, targets, bounds, cross=(), reference=None, seeds=range(3), iters=60000):
+    def error(costs):
+        total = 0.0
+        for key, base, cand, paper, weight in targets:
+            ratio = seconds(data[key][base], costs) / seconds(data[key][cand], costs)
+            total += weight * math.log(ratio / paper) ** 2
+        for key, variant, target_ratio, weight in cross:
+            ratio = seconds(data[key][variant], costs) / seconds(data[key][variant], reference)
+            total += weight * math.log(ratio / target_ratio) ** 2
+        total += 0.3 * max(0.0, math.log(costs["getfield"] / (0.5 * costs["vcall"]))) ** 2
+        total += 0.3 * max(0.0, math.log(costs["acc"] / (1.1 * costs["vcall"]))) ** 2
+        return total
+
+    best = None
+    for seed in seeds:
+        rng = random.Random(seed)
+        current = {op: rng.uniform(*limits) for op, limits in bounds.items()}
+        current_error = error(current)
+        for _ in range(iters):
+            candidate = dict(current)
+            op = rng.choice(list(bounds))
+            low, high = bounds[op]
+            candidate[op] = min(high, max(low, candidate[op] * math.exp(rng.uniform(-0.3, 0.3))))
+            candidate_error = error(candidate)
+            if candidate_error < current_error:
+                current, current_error = candidate, candidate_error
+        if best is None or current_error < best[1]:
+            best = (current, current_error)
+    return best
+
+
+def report(name, data, costs, err, targets, cross=(), reference=None):
+    print(f"\n{name}: error {err:.4f}")
+    print("  " + ", ".join(f"{op}={value:.1f}" for op, value in sorted(costs.items())))
+    for key, base, cand, paper, _ in targets:
+        ratio = seconds(data[key][base], costs) / seconds(data[key][cand], costs)
+        print(f"  {key:16s} paper={paper:5.1f} fit={ratio:6.2f}")
+    for key, variant, target_ratio, _ in cross:
+        ratio = seconds(data[key][variant], costs) / seconds(data[key][variant], reference)
+        print(f"  cross {key:14s} want={target_ratio:5.2f} got={ratio:5.2f}")
+
+
+def main():
+    data = measure_counts()
+    harissa, err = fit(data, HARISSA_TARGETS, HARISSA_BOUNDS)
+    report("HARISSA", data, harissa, err, HARISSA_TARGETS)
+    jdk, err = fit(data, JDK_TARGETS, JDK_BOUNDS, JDK_CROSS, harissa)
+    report("JDK 1.2 JIT", data, jdk, err, JDK_TARGETS, JDK_CROSS, harissa)
+    hotspot, err = fit(data, HOTSPOT_TARGETS, HOTSPOT_BOUNDS, HOTSPOT_CROSS, harissa)
+    report("HOTSPOT", data, hotspot, err, HOTSPOT_TARGETS, HOTSPOT_CROSS, harissa)
+
+
+if __name__ == "__main__":
+    main()
