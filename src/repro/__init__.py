@@ -37,11 +37,14 @@ from repro.core.checkpointable import Checkpointable
 from repro.core.errors import (
     CheckpointError,
     CycleError,
+    EffectAnalysisError,
     PatternViolationError,
+    ResidualVerificationError,
     RestoreError,
     SchemaError,
     SpecializationError,
     StorageError,
+    UnsoundPatternError,
 )
 from repro.core.fields import child, child_list, scalar, scalar_list
 from repro.core.info import CheckpointInfo
@@ -49,6 +52,14 @@ from repro.core.restore import apply_incremental, replay, restore_full
 from repro.core.storage import FileStore, MemoryStore
 from repro.core.streams import DataInputStream, DataOutputStream
 from repro.spec.autospec import AutoSpecializer, PatternObserver
+from repro.spec.effects import (
+    EffectReport,
+    PatternVerdict,
+    WriteSite,
+    analyze_effects,
+    check_pattern,
+    verify_residual,
+)
 from repro.spec.modpattern import ModificationPattern
 from repro.spec.shape import Shape
 from repro.spec.specclass import SpecClass, SpecCompiler
@@ -63,11 +74,14 @@ __all__ = [
     "CheckpointInfo",
     "CheckpointError",
     "CycleError",
+    "EffectAnalysisError",
     "PatternViolationError",
+    "ResidualVerificationError",
     "RestoreError",
     "SchemaError",
     "SpecializationError",
     "StorageError",
+    "UnsoundPatternError",
     "scalar",
     "scalar_list",
     "child",
@@ -85,5 +99,11 @@ __all__ = [
     "SpecCompiler",
     "PatternObserver",
     "AutoSpecializer",
+    "EffectReport",
+    "WriteSite",
+    "analyze_effects",
+    "PatternVerdict",
+    "check_pattern",
+    "verify_residual",
     "__version__",
 ]

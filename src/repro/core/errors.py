@@ -34,6 +34,36 @@ class SpecializationError(CheckpointError):
     """The specializer was given inconsistent or unusable declarations."""
 
 
+class EffectAnalysisError(SpecializationError):
+    """The static modification-effect analysis could not analyse a phase.
+
+    Raised when a phase function's source is unavailable (builtins,
+    C extensions, ``exec``'d code) or when no parameter of the function can
+    be bound to the root of the analysed :class:`~repro.spec.shape.Shape`.
+    """
+
+
+class UnsoundPatternError(SpecializationError):
+    """A declared pattern misses a position the phase may modify.
+
+    Raised by :meth:`repro.spec.specclass.SpecClass.from_static_analysis`
+    when the static effect analysis proves that a programmer-declared
+    :class:`~repro.spec.modpattern.ModificationPattern` declares quiescent a
+    position the phase functions may write. Compiling such a pattern
+    unguarded would silently drop the modified data from every checkpoint.
+    """
+
+
+class ResidualVerificationError(SpecializationError):
+    """A residual program failed the post-specialization verifier.
+
+    Raised by :func:`repro.spec.effects.residual.verify_residual` when the
+    specializer's output is malformed or violates the "no dropped subtree"
+    property: every shape position must either be recorded by the residual
+    checkpointer or be declared quiescent by the modification pattern.
+    """
+
+
 class PatternViolationError(CheckpointError):
     """At run time, an object declared quiescent was found modified.
 

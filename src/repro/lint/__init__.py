@@ -1,0 +1,20 @@
+"""Soundness linter for checkpointed programs (``python -m repro.lint``).
+
+The linter is the CLI front-end of :mod:`repro.spec.effects`: it runs the
+static modification-effect analysis over the phases a module declares in
+``LINT_TARGETS``, diffs declared
+:class:`~repro.spec.modpattern.ModificationPattern` promises against the
+inferred effects (unsound declarations are errors, over-wide ones are
+hints), compiles each target so the residual verifier checks the
+specializer's output, and applies pure-AST source rules that catch writes
+bypassing the modification-flag protocol.
+
+See :mod:`repro.lint.cli` for the command line and
+:mod:`repro.lint.targets` for the ``LINT_TARGETS`` declaration format.
+"""
+
+from repro.lint.cli import main
+from repro.lint.findings import SEVERITIES, Finding
+from repro.lint.targets import LintTarget
+
+__all__ = ["main", "Finding", "SEVERITIES", "LintTarget"]

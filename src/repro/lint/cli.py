@@ -1,0 +1,349 @@
+"""The ``repro.lint`` command line: soundness linting for checkpointed code.
+
+Usage::
+
+    python -m repro.lint PATH [PATH ...] [--format human|json]
+                              [--strict] [--no-import]
+
+For every ``.py`` file under the given paths the linter
+
+1. runs the pure-AST source rules (:mod:`repro.lint.rules`) — no import
+   needed, so even broken files are checked;
+2. unless ``--no-import``, imports the module and collects its
+   ``LINT_TARGETS`` declarations (:mod:`repro.lint.targets`);
+3. for each target, runs the static modification-effect analysis over the
+   declared phases, diffs the declared pattern against the inferred
+   effects (unsound → *error*, over-wide → *hint*), and compiles the
+   specialization so the residual verifier checks the specializer's
+   output end to end.
+
+Exit status is 1 when any *error* finding was produced (with
+``--strict``, also when any *warning* was), else 0.
+
+Modules inside a package (an ``__init__.py`` chain) are imported under
+their canonical dotted name, so linting ``src`` never re-executes already
+imported framework modules. Loose files (the examples) are imported once
+per process under a deterministic path-derived name — re-running
+:func:`main` in the same process reuses the cached module, which keeps
+the class registry free of duplicate registrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import importlib
+import importlib.util
+import sys
+import traceback
+from pathlib import Path
+from types import ModuleType
+from typing import List, Optional, Tuple
+
+from repro.core.errors import (
+    CheckpointError,
+    EffectAnalysisError,
+    ResidualVerificationError,
+)
+from repro.lint.findings import (
+    Finding,
+    exit_code,
+    render_human,
+    render_json,
+)
+from repro.lint.rules import check_source
+from repro.lint.targets import LintTarget, targets_of
+from repro.spec.effects.analysis import analyze_effects
+from repro.spec.effects.soundness import check_pattern
+from repro.spec.specclass import SpecClass, SpecCompiler
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "node_modules"}
+
+
+def discover(paths: List[str]) -> List[Path]:
+    """The ``.py`` files under the given files/directories, deduplicated."""
+    seen = set()
+    found: List[Path] = []
+
+    def add(candidate: Path) -> None:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            found.append(resolved)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                add(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIRS or any(
+                part.endswith(".egg-info") for part in candidate.parts
+            ):
+                continue
+            add(candidate)
+    return found
+
+
+# -- importing ---------------------------------------------------------------
+
+
+def _package_root(file: Path) -> Optional[Tuple[Path, str]]:
+    """(sys.path entry, dotted name) when ``file`` lives inside a package."""
+    if file.name == "__init__.py":
+        module_parts: List[str] = []
+        directory = file.parent
+    else:
+        module_parts = [file.stem]
+        directory = file.parent
+    if not (directory / "__init__.py").exists():
+        return None
+    while (directory / "__init__.py").exists():
+        module_parts.insert(0, directory.name)
+        directory = directory.parent
+    return directory, ".".join(module_parts)
+
+
+def import_file(file: Path) -> ModuleType:
+    """Import one discovered file, reusing ``sys.modules`` caches."""
+    packaged = _package_root(file)
+    if packaged is not None:
+        root, dotted = packaged
+        cached = sys.modules.get(dotted)
+        if cached is not None:
+            return cached
+        if str(root) not in sys.path:
+            sys.path.insert(0, str(root))
+        return importlib.import_module(dotted)
+    # Loose file: deterministic name so the same path imports exactly once
+    # per process (duplicate imports would re-register checkpointable
+    # classes under fresh module names).
+    digest = hashlib.sha1(str(file).encode("utf-8")).hexdigest()[:12]
+    name = f"_repro_lint_{digest}"
+    cached = sys.modules.get(name)
+    if cached is not None:
+        return cached
+    spec = importlib.util.spec_from_file_location(name, file)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {file}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        del sys.modules[name]
+        raise
+    return module
+
+
+# -- semantic checks over declared targets -----------------------------------
+
+
+def _phase_location(target: LintTarget) -> Tuple[Optional[str], Optional[int]]:
+    code = getattr(target.phases[0], "__code__", None)
+    if code is None:
+        return None, None
+    return code.co_filename, code.co_firstlineno
+
+
+def check_target(target: LintTarget, filename: str) -> List[Finding]:
+    """Analysis + soundness diff + compile-and-verify for one target."""
+    findings: List[Finding] = []
+    phase_file, phase_line = _phase_location(target)
+    try:
+        report = analyze_effects(target.shape, target.phases, roots=target.roots)
+    except EffectAnalysisError as exc:
+        findings.append(
+            Finding(
+                "error",
+                "analysis-error",
+                str(exc),
+                filename=phase_file or filename,
+                lineno=phase_line,
+                target=target.name,
+            )
+        )
+        return findings
+
+    for site in report.fallbacks:
+        findings.append(
+            Finding(
+                "info",
+                "analysis-fallback",
+                f"opaque call widened the analysis: {site.reason}",
+                filename=site.filename,
+                lineno=site.lineno,
+                target=target.name,
+            )
+        )
+    for site in report.cautions:
+        findings.append(
+            Finding(
+                "info",
+                "analysis-caution",
+                site.reason,
+                filename=site.filename,
+                lineno=site.lineno,
+                target=target.name,
+            )
+        )
+
+    if target.pattern is not None:
+        verdict = check_pattern(target.pattern, report)
+        for path, site in verdict.unsound:
+            where = f", first written at {site.location()}" if site else ""
+            findings.append(
+                Finding(
+                    "error",
+                    "unsound-pattern",
+                    f"pattern declares {path!r} quiescent but the phases "
+                    f"may modify it{where}: an unguarded specialization "
+                    "would drop the data from every checkpoint",
+                    filename=(site.filename if site else phase_file) or filename,
+                    lineno=site.lineno if site else phase_line,
+                    target=target.name,
+                )
+            )
+        for path in verdict.overwide:
+            findings.append(
+                Finding(
+                    "hint",
+                    "overwide-pattern",
+                    f"pattern declares {path!r} dynamic but the analysis "
+                    "proves it is never written: the pattern can be "
+                    "tightened for a faster specialization",
+                    filename=phase_file or filename,
+                    lineno=phase_line,
+                    target=target.name,
+                )
+            )
+        # Compile the minimal *sound* pattern so the residual verifier
+        # still runs end to end even when the declaration was unsound.
+        pattern = target.pattern if verdict.sound else verdict.widened()
+    else:
+        pattern = report.pattern()
+
+    # target names are free-form labels; the compiled function name must
+    # be a Python identifier
+    fn_name = "lint_" + "".join(
+        c if c.isalnum() or c == "_" else "_" for c in target.name
+    )
+    try:
+        compiler = SpecCompiler()
+        compiler.compile(SpecClass(target.shape, pattern, name=fn_name))
+    except ResidualVerificationError as exc:
+        findings.append(
+            Finding(
+                "error",
+                "residual-verification",
+                str(exc),
+                filename=phase_file or filename,
+                lineno=phase_line,
+                target=target.name,
+            )
+        )
+    except CheckpointError as exc:
+        findings.append(
+            Finding(
+                "error",
+                "target-error",
+                f"cannot compile specialization: {exc}",
+                filename=phase_file or filename,
+                lineno=phase_line,
+                target=target.name,
+            )
+        )
+    return findings
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Soundness linter for checkpointed programs: static "
+            "modification-effect analysis, pattern soundness checking, and "
+            "residual-program verification."
+        ),
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings too",
+    )
+    parser.add_argument(
+        "--no-import",
+        action="store_true",
+        help="run only the source rules; skip imports and target checks",
+    )
+    options = parser.parse_args(argv)
+
+    try:
+        files = discover(options.paths)
+    except FileNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    findings: List[Finding] = []
+    target_count = 0
+    for file in files:
+        filename = str(file)
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding("error", "read-error", str(exc), filename=filename)
+            )
+            continue
+        findings.extend(check_source(filename, source))
+
+        if options.no_import or file.name == "__main__.py":
+            # importing a __main__ module runs it; the AST pass above is
+            # the only check such files get
+            continue
+        try:
+            module = import_file(file)
+        except BaseException as exc:  # import errors of any stripe
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+            findings.append(
+                Finding(
+                    "error",
+                    "import-error",
+                    f"cannot import: {detail}",
+                    filename=filename,
+                )
+            )
+            continue
+        try:
+            targets = targets_of(module)
+        except CheckpointError as exc:
+            findings.append(
+                Finding(
+                    "error", "bad-targets", str(exc), filename=filename
+                )
+            )
+            continue
+        for target in targets:
+            target_count += 1
+            findings.extend(check_target(target, filename))
+
+    if options.format == "json":
+        print(render_json(findings, len(files), target_count))
+    else:
+        print(render_human(findings, len(files), target_count))
+    return exit_code(findings, strict=options.strict)

@@ -1,0 +1,142 @@
+"""Findings: what the linter reports, and how it is rendered.
+
+A :class:`Finding` is one diagnostic — a severity, a stable machine
+code, a message, and (when known) a ``file:line`` location. The CLI
+collects findings from the source rules (:mod:`repro.lint.rules`) and the
+semantic checks over declared lint targets (:mod:`repro.lint.cli`), then
+renders them for humans or as JSON and converts them into an exit code.
+
+Severities
+----------
+``error``
+    The declaration is wrong: an unsound pattern, a residual program that
+    failed verification, a module that cannot be imported. Errors make the
+    linter exit nonzero.
+``warning``
+    Suspicious but not proven wrong: direct modification-flag writes,
+    raw ``_f_*`` slot writes that bypass the dirty-flag descriptor.
+    Nonzero only under ``--strict``.
+``hint``
+    Optimization opportunities: an over-wide pattern declaring dynamic
+    positions the analysis proves quiescent.
+``info``
+    Context: opaque-call fallbacks that widened the analysis, analysis
+    cautions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: recognised severities, most severe first
+SEVERITIES = ("error", "warning", "hint", "info")
+
+_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+class Finding:
+    """One linter diagnostic."""
+
+    __slots__ = ("severity", "code", "message", "filename", "lineno", "target")
+
+    def __init__(
+        self,
+        severity: str,
+        code: str,
+        message: str,
+        filename: Optional[str] = None,
+        lineno: Optional[int] = None,
+        target: Optional[str] = None,
+    ) -> None:
+        if severity not in _RANK:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.severity = severity
+        #: stable machine-readable code, e.g. ``unsound-pattern``
+        self.code = code
+        self.message = message
+        self.filename = filename
+        self.lineno = lineno
+        #: the :class:`~repro.lint.targets.LintTarget` name, when applicable
+        self.target = target
+
+    def location(self) -> str:
+        if self.filename is None:
+            return "<no file>"
+        if self.lineno is None:
+            return self.filename
+        return f"{self.filename}:{self.lineno}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "file": self.filename,
+            "line": self.lineno,
+            "target": self.target,
+        }
+
+    def format_human(self) -> str:
+        where = f" [{self.target}]" if self.target else ""
+        return (
+            f"{self.location()}: {self.severity}: {self.code}: "
+            f"{self.message}{where}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({self.severity}, {self.code}, {self.location()})"
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Most severe first, then by location, for stable output."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            _RANK[f.severity],
+            f.filename or "",
+            f.lineno or 0,
+            f.code,
+            f.message,
+        ),
+    )
+
+
+def count_by_severity(findings: List[Finding]) -> Dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    return counts
+
+
+def render_human(findings: List[Finding], checked_files: int, targets: int) -> str:
+    lines = [finding.format_human() for finding in sort_findings(findings)]
+    counts = count_by_severity(findings)
+    summary = ", ".join(
+        f"{counts[severity]} {severity}{'s' if counts[severity] != 1 else ''}"
+        for severity in SEVERITIES
+        if counts[severity]
+    ) or "clean"
+    lines.append(
+        f"repro.lint: {checked_files} file(s), {targets} target(s): {summary}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], checked_files: int, targets: int) -> str:
+    counts = count_by_severity(findings)
+    return json.dumps(
+        {
+            "files": checked_files,
+            "targets": targets,
+            "counts": counts,
+            "findings": [f.to_dict() for f in sort_findings(findings)],
+        },
+        indent=2,
+    )
+
+
+def exit_code(findings: List[Finding], strict: bool = False) -> int:
+    """1 when any error (or, under ``strict``, any warning) was found."""
+    worst = {"error"} if not strict else {"error", "warning"}
+    return 1 if any(f.severity in worst for f in findings) else 0

@@ -1,0 +1,105 @@
+"""Lint targets: a module's declaration of what to analyse.
+
+A module opts into the semantic checks by exporting a module-level
+``LINT_TARGETS`` list::
+
+    from repro.lint import LintTarget
+
+    PROTO = Root(mid=Mid(leaf=Leaf(value=0), tag=0), extra=0)
+    SHAPE = Shape.of(PROTO)
+
+    def phase(root: Root):
+        root.mid.leaf.value += 1
+
+    LINT_TARGETS = [
+        LintTarget(
+            "root-phase",
+            shape=SHAPE,
+            phases=[phase],
+            pattern=ModificationPattern.only(SHAPE, [("mid", "leaf")]),
+        ),
+    ]
+
+For each target the linter runs the static modification-effect analysis
+over the phases, diffs the declared pattern (if any) against it, and
+compiles the specialization so the residual verifier checks the output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.errors import SpecializationError
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Shape
+
+
+class LintTarget:
+    """One structure + phase set to check.
+
+    Parameters
+    ----------
+    name:
+        Label used in findings (and as the compiled function name).
+    shape:
+        The structure's :class:`~repro.spec.shape.Shape`. Exactly one of
+        ``shape`` and ``prototype`` must be given.
+    prototype:
+        Convenience: a prototype instance to derive the shape from.
+    phases:
+        The functions executed between checkpoints (analysed together).
+    pattern:
+        The declared :class:`~repro.spec.modpattern.ModificationPattern`
+        to check for soundness, built against the same ``shape`` object.
+        ``None`` means "derive the pattern from the analysis".
+    roots:
+        Optional parameter names binding each phase's root argument, for
+        phases whose parameters are not annotated with the root class.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shape: Optional[Shape] = None,
+        prototype: Optional[Checkpointable] = None,
+        phases: Iterable[Callable] = (),
+        pattern: Optional[ModificationPattern] = None,
+        roots: Optional[Iterable[str]] = None,
+    ) -> None:
+        if (shape is None) == (prototype is None):
+            raise SpecializationError(
+                f"lint target {name!r}: give exactly one of shape= and "
+                "prototype="
+            )
+        self.name = name
+        self.shape = shape if shape is not None else Shape.of(prototype)
+        self.phases: List[Callable] = list(phases)
+        if not self.phases:
+            raise SpecializationError(f"lint target {name!r} declares no phases")
+        if pattern is not None and pattern.shape is not self.shape:
+            raise SpecializationError(
+                f"lint target {name!r}: the pattern was built for a "
+                "different shape object"
+            )
+        self.pattern = pattern
+        self.roots = list(roots) if roots is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LintTarget({self.name!r}, {len(self.phases)} phase(s))"
+
+
+def targets_of(module) -> List[LintTarget]:
+    """The validated ``LINT_TARGETS`` declaration of a module."""
+    declared = getattr(module, "LINT_TARGETS", None)
+    if declared is None:
+        return []
+    targets: List[LintTarget] = []
+    for entry in declared:
+        if not isinstance(entry, LintTarget):
+            raise SpecializationError(
+                f"module {module.__name__!r}: LINT_TARGETS entries must be "
+                f"LintTarget instances, got {entry!r}"
+            )
+        targets.append(entry)
+    return targets

@@ -19,6 +19,14 @@ is emitted as Python source and compiled (:mod:`repro.spec.codegen`).
 """
 
 from repro.spec.autospec import AutoSpecializer, PatternObserver
+from repro.spec.effects import (
+    EffectReport,
+    PatternVerdict,
+    WriteSite,
+    analyze_effects,
+    check_pattern,
+    verify_residual,
+)
 from repro.spec.modpattern import ModificationPattern
 from repro.spec.shape import Shape
 from repro.spec.specclass import SpecClass, SpecCompiler, SpecializedCheckpointer
@@ -31,4 +39,10 @@ __all__ = [
     "SpecializedCheckpointer",
     "PatternObserver",
     "AutoSpecializer",
+    "EffectReport",
+    "WriteSite",
+    "analyze_effects",
+    "PatternVerdict",
+    "check_pattern",
+    "verify_residual",
 ]

@@ -1,0 +1,37 @@
+"""Static modification-effect analysis for checkpointing phases (paper §7).
+
+The paper's future work proposes deriving specialization classes "based on
+an analysis of the data modification pattern of the program".
+:mod:`repro.spec.autospec` implements the *dynamic* variant (observe dirty
+flags at run time); this package implements the *static* one:
+
+- :mod:`repro.spec.effects.analysis` — a Python-AST **may-modify effect
+  analysis**: given the phase functions of a program and a
+  :class:`~repro.spec.shape.Shape`, it computes a sound over-approximation
+  of the shape positions whose modification flags the phase can set
+  (intraprocedural dataflow over attribute writes plus a module-local call
+  graph; opaque calls fall back to "everything reachable is dynamic").
+- :mod:`repro.spec.effects.soundness` — diffs a programmer-declared
+  :class:`~repro.spec.modpattern.ModificationPattern` against the inferred
+  effects: declarations proven unsound are errors, over-wide declarations
+  are optimization hints, and a proven-sound pattern may be compiled
+  **unguarded** (:meth:`repro.spec.specclass.SpecClass.from_static_analysis`).
+- :mod:`repro.spec.effects.residual` — a verifier over the residual IR the
+  specializer emits, asserting well-formedness and the key "no dropped
+  subtree" property. It runs on every compiled specialization.
+
+The CLI front-end for all three lives in :mod:`repro.lint`.
+"""
+
+from repro.spec.effects.analysis import EffectReport, WriteSite, analyze_effects
+from repro.spec.effects.residual import verify_residual
+from repro.spec.effects.soundness import PatternVerdict, check_pattern
+
+__all__ = [
+    "EffectReport",
+    "WriteSite",
+    "analyze_effects",
+    "PatternVerdict",
+    "check_pattern",
+    "verify_residual",
+]

@@ -1,0 +1,122 @@
+"""Pattern soundness checking: declared patterns vs. inferred effects.
+
+A :class:`~repro.spec.modpattern.ModificationPattern` is a programmer
+promise. The static effect analysis (:mod:`repro.spec.effects.analysis`)
+computes a sound over-approximation ``may_write`` of the positions a phase
+can actually dirty, so the two can be diffed:
+
+- ``may_write ⊄ declared`` — **unsound**: the phase may modify a position
+  the pattern declares quiescent. An unguarded specialization compiled
+  from this pattern silently drops the modification from every
+  checkpoint; a guarded one pays a run-time error. This is the defect the
+  linter reports as an *error*.
+- ``declared ⊃ may_write`` — **over-wide**: positions declared dynamic
+  that the analysis proves are never written. Correct but slow; the
+  linter reports a *hint* (the pattern can be tightened, or rebuilt from
+  the analysis).
+- ``may_write ⊆ declared`` — **sound**: every possible write is covered,
+  so guards verify nothing that can fail and may be dropped
+  (:meth:`repro.spec.specclass.SpecClass.from_static_analysis`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.spec.effects.analysis import EffectReport, WriteSite
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Path
+
+
+class PatternVerdict:
+    """Outcome of diffing a declared pattern against inferred effects."""
+
+    def __init__(
+        self,
+        declared: ModificationPattern,
+        report: EffectReport,
+        unsound: List[Tuple[Path, Optional[WriteSite]]],
+        overwide: List[Path],
+    ) -> None:
+        self.declared = declared
+        self.report = report
+        #: positions declared quiescent that the phase may write, with the
+        #: first evidence site for each
+        self.unsound = unsound
+        #: positions declared dynamic that are provably never written
+        self.overwide = overwide
+
+    @property
+    def sound(self) -> bool:
+        """True when the declaration covers every possible write."""
+        return not self.unsound
+
+    @property
+    def exact(self) -> bool:
+        """True when the declaration is sound and not over-wide."""
+        return self.sound and not self.overwide
+
+    def widened(self) -> ModificationPattern:
+        """The minimal sound widening of the declared pattern."""
+        return self.declared.widened(path for path, _site in self.unsound)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "sound" if self.sound else f"{len(self.unsound)} unsound"
+        return f"PatternVerdict({state}, {len(self.overwide)} over-wide)"
+
+
+def check_pattern(
+    declared: ModificationPattern, report: EffectReport
+) -> PatternVerdict:
+    """Diff a declared pattern against an :class:`EffectReport`."""
+    if declared.shape is not report.shape:
+        # Shapes are identity-compared throughout the specializer; a
+        # pattern for a different shape cannot be meaningfully diffed.
+        from repro.core.errors import SpecializationError
+
+        raise SpecializationError(
+            "the declared pattern and the effect report describe "
+            "different shapes"
+        )
+    declared_paths = declared.may_modify_paths()
+    inferred = report.may_write
+
+    # Paths mix str and (field, index) elements, so they have no natural
+    # total order; repr gives a deterministic one for stable output.
+    unsound: List[Tuple[Path, Optional[WriteSite]]] = []
+    for path in sorted(inferred - declared_paths, key=repr):
+        sites = report.evidence(path)
+        unsound.append((path, sites[0] if sites else None))
+
+    overwide = sorted(declared_paths - inferred, key=repr)
+    return PatternVerdict(declared, report, unsound, overwide)
+
+
+def describe_verdict(verdict: PatternVerdict) -> List[str]:
+    """Human-readable summary lines (used by the linter and examples)."""
+    lines: List[str] = []
+    for path, site in verdict.unsound:
+        where = f" (written at {site.location()})" if site else ""
+        lines.append(
+            f"UNSOUND: path {path!r} is declared quiescent but may be "
+            f"modified{where}"
+        )
+    for path in verdict.overwide:
+        lines.append(
+            f"over-wide: path {path!r} is declared dynamic but is provably "
+            "never written"
+        )
+    if verdict.sound:
+        extra = "" if verdict.report.is_exact() else (
+            " (analysis used the conservative opaque-call fallback)"
+        )
+        lines.append(
+            "pattern is sound: every possible write is covered; guards can "
+            f"be dropped{extra}"
+        )
+    return lines
+
+
+def soundness_evidence(verdict: PatternVerdict) -> Dict[Path, List[WriteSite]]:
+    """Evidence sites for each unsound position (for structured output)."""
+    return {path: verdict.report.evidence(path) for path, _ in verdict.unsound}

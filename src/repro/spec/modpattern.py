@@ -130,6 +130,18 @@ class ModificationPattern:
                 best = path
         return best
 
+    def widened(self, extra: Iterable[Path]) -> "ModificationPattern":
+        """A new pattern additionally allowing modification of ``extra``.
+
+        Patterns are immutable (``_may_modify`` is a frozenset and the lazy
+        ``_subtree_cache`` only memoizes facts derived from it), so widening
+        always builds a fresh pattern — and therefore a fresh cache — rather
+        than mutating this one. :class:`~repro.spec.autospec.AutoSpecializer`
+        and the soundness checker rely on this to never see stale subtree
+        facts after a refinement.
+        """
+        return ModificationPattern(self.shape, self._may_modify | set(extra))
+
     # -- queries ---------------------------------------------------------------
 
     def node_may_be_modified(self, node: ShapeNode) -> bool:

@@ -15,9 +15,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.checkpointable import Checkpointable
-from repro.core.errors import SpecializationError
+from repro.core.errors import SpecializationError, UnsoundPatternError
 from repro.core.streams import DataOutputStream
 from repro.spec import codegen
+from repro.spec.effects.analysis import EffectReport, analyze_effects
+from repro.spec.effects.residual import verify_residual
+from repro.spec.effects.soundness import check_pattern
 from repro.spec.modpattern import ModificationPattern
 from repro.spec.pe import Specializer
 from repro.spec.shape import Shape
@@ -58,6 +61,9 @@ class SpecClass:
         self.pattern = pattern
         self.name = name
         self.guards = guards
+        #: the :class:`~repro.spec.effects.analysis.EffectReport` backing
+        #: this declaration, when built by :meth:`from_static_analysis`
+        self.static_report: Optional[EffectReport] = None
 
     @classmethod
     def for_prototype(
@@ -70,9 +76,58 @@ class SpecClass:
         """Convenience: derive the shape from a prototype instance."""
         return cls(Shape.of(prototype), pattern, name, guards)
 
+    @classmethod
+    def from_static_analysis(
+        cls,
+        shape: Shape,
+        phases: Iterable,
+        name: str = "spec_checkpoint",
+        declared: Optional[ModificationPattern] = None,
+        roots: Optional[Iterable[str]] = None,
+    ) -> "SpecClass":
+        """Derive a declaration from the static effect analysis (paper §7).
+
+        Runs :func:`~repro.spec.effects.analysis.analyze_effects` over the
+        ``phases`` (the functions executed between checkpoints) and builds a
+        declaration whose pattern is *proven* to cover every write the
+        phases can perform — so guards verify nothing that can fail and are
+        compiled out (``guards=False``).
+
+        With ``declared`` the programmer's pattern is checked instead of
+        replaced: a declaration the analysis proves unsound raises
+        :class:`~repro.core.errors.UnsoundPatternError` (compiling it
+        unguarded would silently drop data from every checkpoint).
+
+        ``roots`` optionally names, per phase function, the parameter bound
+        to the structure root (needed when parameters are not annotated).
+        """
+        report = analyze_effects(shape, phases, roots=roots)
+        if declared is not None:
+            verdict = check_pattern(declared, report)
+            if not verdict.sound:
+                missed = [path for path, _site in verdict.unsound]
+                evidence = ", ".join(
+                    f"{path!r} ({site.location()})" if site else repr(path)
+                    for path, site in verdict.unsound
+                )
+                raise UnsoundPatternError(
+                    f"declared pattern for {name!r} misses {len(missed)} "
+                    f"position(s) the phases may modify: {evidence}"
+                )
+            pattern = declared
+        else:
+            pattern = report.pattern()
+        spec = cls(shape, pattern, name=name, guards=False)
+        spec.static_report = report
+        return spec
+
     def _cache_key(self) -> Tuple:
+        # sort by repr: paths mix str and (field, index) elements, which
+        # have no natural mutual order
         pattern_key = (
-            None if self.pattern is None else tuple(sorted(self.pattern.may_modify_paths()))
+            None
+            if self.pattern is None
+            else tuple(sorted(self.pattern.may_modify_paths(), key=repr))
         )
         return (id(self.shape), pattern_key, self.name, self.guards)
 
@@ -101,6 +156,16 @@ class SpecializedCheckpointer:
         self.spec = spec
         specializer = Specializer(spec.shape, spec.pattern, guards=spec.guards)
         self.residual_ir = specializer.specialize()
+        # Re-check the specializer's output independently before compiling:
+        # well-formedness plus the "no dropped subtree" property (every
+        # declared-modifiable position is recorded, nothing else is).
+        self.recorded_paths = verify_residual(
+            self.residual_ir,
+            spec.shape,
+            spec.pattern,
+            spec.guards,
+            name=spec.name,
+        )
         self.source, self._function = codegen.emit(self.residual_ir, spec.name)
 
     def __call__(self, root: Checkpointable, out: DataOutputStream) -> None:

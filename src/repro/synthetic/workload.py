@@ -107,7 +107,10 @@ class FlagSnapshot:
 
     def restore(self) -> None:
         for info, modified in self._state:
-            info.modified = modified
+            if modified:
+                info.set_modified()
+            else:
+                info.reset_modified()
 
     def modified_count(self) -> int:
         return sum(1 for _, modified in self._state if modified)

@@ -1,0 +1,38 @@
+"""Lint fixture: a sound but OVER-WIDE pattern declaration.
+
+The phase only writes ``left``, yet the pattern declares every position
+dynamic. That is safe — every write is covered — but slower than needed:
+the specializer keeps tests and record blocks for positions the analysis
+proves quiescent. ``python -m repro.lint`` on this file must report
+``overwide-pattern`` hints and exit 0.
+"""
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, scalar
+from repro.lint import LintTarget
+from repro.spec import ModificationPattern, Shape
+
+
+class OWLeaf(Checkpointable):
+    value = scalar("int")
+
+
+class OWRoot(Checkpointable):
+    counter = scalar("int")
+    left = child(OWLeaf)
+    right = child(OWLeaf)
+
+
+PROTO = OWRoot(counter=0, left=OWLeaf(value=1), right=OWLeaf(value=2))
+SHAPE = Shape.of(PROTO)
+
+
+def phase(root: OWRoot) -> None:
+    root.left.value += 1
+
+
+DECLARED = ModificationPattern.all_dynamic(SHAPE)
+
+LINT_TARGETS = [
+    LintTarget("overwide-demo", shape=SHAPE, phases=[phase], pattern=DECLARED),
+]

@@ -1,0 +1,38 @@
+"""Lint fixture: a declared pattern the static analysis proves UNSOUND.
+
+The phase writes both children, but the pattern only admits ``left`` —
+compiled unguarded, the specialization would silently drop every write to
+``right`` from every checkpoint. ``python -m repro.lint`` on this file
+must report an ``unsound-pattern`` error and exit nonzero.
+"""
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, scalar
+from repro.lint import LintTarget
+from repro.spec import ModificationPattern, Shape
+
+
+class USLeaf(Checkpointable):
+    value = scalar("int")
+
+
+class USRoot(Checkpointable):
+    counter = scalar("int")
+    left = child(USLeaf)
+    right = child(USLeaf)
+
+
+PROTO = USRoot(counter=0, left=USLeaf(value=1), right=USLeaf(value=2))
+SHAPE = Shape.of(PROTO)
+
+
+def phase(root: USRoot) -> None:
+    root.left.value += 1
+    root.right.value += 1  # not covered by DECLARED: the unsound write
+
+
+DECLARED = ModificationPattern.only(SHAPE, [("left",)])
+
+LINT_TARGETS = [
+    LintTarget("unsound-demo", shape=SHAPE, phases=[phase], pattern=DECLARED),
+]

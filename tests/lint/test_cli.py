@@ -1,0 +1,125 @@
+"""Tests for the ``python -m repro.lint`` command line."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestInProcess:
+    def test_unsound_fixture_is_an_error(self, capsys):
+        code, out = run_cli([str(FIXTURES / "unsound_pattern.py")], capsys)
+        assert code == 1
+        assert "unsound-pattern" in out
+        assert "('right',)" in out
+        # the finding points at the violating write, with a line number
+        assert "unsound_pattern.py" in out
+
+    def test_overwide_fixture_is_a_hint(self, capsys):
+        code, out = run_cli([str(FIXTURES / "overwide_pattern.py")], capsys)
+        assert code == 0
+        assert "overwide-pattern" in out
+        assert "unsound" not in out
+
+    def test_json_output(self, capsys):
+        code, out = run_cli([str(FIXTURES), "--format", "json"], capsys)
+        assert code == 1
+        data = json.loads(out)
+        assert data["targets"] == 2
+        codes = {finding["code"] for finding in data["findings"]}
+        assert "unsound-pattern" in codes
+        assert "overwide-pattern" in codes
+        assert data["counts"]["error"] >= 1
+        assert data["counts"]["hint"] >= 1
+
+    def test_no_import_skips_target_checks(self, capsys):
+        code, out = run_cli(
+            ["--no-import", str(FIXTURES / "unsound_pattern.py")], capsys
+        )
+        assert code == 0
+        assert "unsound-pattern" not in out
+
+    def test_source_rules_flag_protocol_bypasses(self, tmp_path, capsys):
+        bad = tmp_path / "bypasses.py"
+        bad.write_text(
+            "def mutate(obj):\n"
+            "    obj._f_value = 1\n"
+            "    obj._ckpt_info.modified = True\n"
+        )
+        code, out = run_cli([str(bad)], capsys)
+        assert code == 0  # warnings alone do not fail
+        assert "slot-write" in out
+        assert "flag-write" in out
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        bad = tmp_path / "bypasses.py"
+        bad.write_text("def mutate(obj):\n    obj._f_value = 1\n")
+        code, _out = run_cli(["--strict", str(bad)], capsys)
+        assert code == 1
+
+    def test_syntax_error_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        code, out = run_cli(["--no-import", str(bad)], capsys)
+        assert code == 1
+        assert "syntax-error" in out
+
+    def test_missing_path_exits_2(self, capsys):
+        code = main([str(FIXTURES / "does_not_exist.py")])
+        assert code == 2
+
+    def test_import_failure_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "unimportable.py"
+        bad.write_text("raise RuntimeError('boom at import time')\n")
+        code, out = run_cli([str(bad)], capsys)
+        assert code == 1
+        assert "import-error" in out
+        assert "boom at import time" in out
+
+    def test_repeated_runs_share_the_module_cache(self, capsys):
+        # importing the same fixture twice must not re-register its
+        # checkpointable classes (the registry rejects duplicates)
+        first, _ = run_cli([str(FIXTURES / "overwide_pattern.py")], capsys)
+        second, _ = run_cli([str(FIXTURES / "overwide_pattern.py")], capsys)
+        assert first == 0 and second == 0
+
+
+class TestSubprocess:
+    def _run(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(REPO),
+        )
+
+    def test_unsound_fixture_exits_nonzero(self):
+        result = self._run(str(FIXTURES / "unsound_pattern.py"))
+        assert result.returncode == 1
+        assert "unsound-pattern" in result.stdout
+
+    def test_overwide_fixture_exits_zero(self):
+        result = self._run(str(FIXTURES / "overwide_pattern.py"))
+        assert result.returncode == 0
+        assert "overwide-pattern" in result.stdout
+
+    def test_src_and_examples_are_clean(self):
+        # the exact invocation CI runs
+        result = self._run("src", "examples")
+        assert result.returncode == 0, result.stdout + result.stderr

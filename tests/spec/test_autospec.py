@@ -125,6 +125,94 @@ class TestAutoSpecializer:
         assert _spec(fn, root) == b""  # nothing observed -> nothing recorded
 
 
+class TestPatternCacheFreshness:
+    """Regression: refine() must never act on stale subtree-cache facts.
+
+    ``ModificationPattern._subtree_cache`` memoizes "may anything in this
+    subtree be modified?" — a fact derived from the immutable
+    ``_may_modify`` set. Refinement therefore has to build a *new* pattern
+    (and with it an empty cache); reusing or mutating the old one would
+    let the recompiled routine keep skipping a subtree that just became
+    modifiable.
+    """
+
+    def test_refine_builds_fresh_pattern_with_fresh_cache(self, scenario):
+        root, shape = scenario
+        observer = PatternObserver(shape)
+        root.mid.leaf.value = 1
+        observer.observe(root)
+        auto = AutoSpecializer(shape, observer, name="auto_fresh_cache")
+        fn = auto.compiled()
+        old_pattern = fn.spec.pattern
+        extra_node = shape.node_at(("extra",))
+        # Populate the old pattern's subtree cache with "extra is quiescent".
+        assert not old_pattern.subtree_may_be_modified(extra_node)
+        _spec(fn, root)
+
+        root.extra.value = 3
+        with pytest.raises(PatternViolationError):
+            _spec(fn, root)
+        refined = auto.refine(root)
+        new_pattern = refined.spec.pattern
+
+        assert new_pattern is not old_pattern
+        assert new_pattern._subtree_cache is not old_pattern._subtree_cache
+        assert new_pattern.subtree_may_be_modified(extra_node)
+        # The stale fact stays confined to the retired pattern object.
+        assert not old_pattern.subtree_may_be_modified(extra_node)
+
+    def test_observe_violate_refine_recompile_matches_generic(self, scenario):
+        root, shape = scenario
+        observer = PatternObserver(shape)
+        root.mid.leaf.value = 1
+        observer.observe(root)
+        auto = AutoSpecializer(shape, observer, name="auto_full_cycle")
+        fn = auto.compiled()
+        _spec(fn, root)
+
+        # A subtree the first compile skipped entirely becomes dirty.
+        root.extra.value = 4
+        with pytest.raises(PatternViolationError):
+            _spec(fn, root)
+        refined = auto.refine(root)
+
+        snapshot = [
+            (o._ckpt_info, o._ckpt_info.modified) for o in collect_objects(root)
+        ]
+        expected = _generic(root)
+        for info, modified in snapshot:
+            if modified:
+                info.set_modified()
+            else:
+                info.reset_modified()
+        assert _spec(refined, root) == expected
+        # The recompiled routine now traverses and records the subtree.
+        assert set(refined.recorded_paths) >= {("mid", "leaf"), ("extra",)}
+
+    def test_constructor_copies_its_input_set(self, scenario):
+        _root, shape = scenario
+        from repro.spec.modpattern import ModificationPattern
+
+        paths = {("extra",)}
+        pattern = ModificationPattern.only(shape, paths)
+        paths.add(("mid",))  # caller keeps mutating its set
+        assert pattern.may_modify_paths() == {("extra",)}
+        assert not pattern.node_may_be_modified(shape.node_at(("mid",)))
+
+    def test_widened_leaves_original_untouched(self, scenario):
+        _root, shape = scenario
+        from repro.spec.modpattern import ModificationPattern
+
+        pattern = ModificationPattern.only(shape, [("mid", "leaf")])
+        extra_node = shape.node_at(("extra",))
+        assert not pattern.subtree_may_be_modified(extra_node)  # fill cache
+        widened = pattern.widened([("extra",)])
+        assert widened.subtree_may_be_modified(extra_node)
+        assert widened.may_modify_paths() == {("mid", "leaf"), ("extra",)}
+        assert pattern.may_modify_paths() == {("mid", "leaf")}
+        assert not pattern.subtree_may_be_modified(extra_node)
+
+
 class TestEngineIntegration:
     def test_observer_reconstructs_phase_patterns(self):
         """Observing one engine phase re-derives the declared pattern."""
