@@ -4,13 +4,14 @@ Run with::
 
     python examples/crash_recovery.py
 
-Demonstrates the durable substrate beneath the paper's scheme: the engine
-writes every epoch (one base full checkpoint, then one incremental delta
-per analysis iteration) to a file-backed store; we simulate a crash that
-tears the final epoch mid-write, then recover in a "fresh process" and
-resume the analysis. Recovery discards the torn tail, restores the exact
-surviving state, and the resumed run converges from the restored
-intermediate results.
+Demonstrates the durable substrate beneath the paper's scheme, driven
+entirely through the checkpoint runtime: the engine's
+:class:`~repro.runtime.session.CheckpointSession` drains every epoch (one
+base full checkpoint, then one incremental delta per analysis iteration)
+into a file-backed sink; we simulate a crash that tears the final epoch
+mid-write, then recover in a "fresh process" and resume the analysis.
+Recovery discards the torn tail, restores the exact surviving state, and
+the resumed run converges from the restored intermediate results.
 """
 
 import os
@@ -30,15 +31,18 @@ def main() -> None:
         division = image_division()
 
         # -- first run: analyse with persistent checkpoints ------------------
+        # The store becomes the session's sink; every epoch the engine
+        # commits flows through it.
         store = FileStore(os.path.join(workdir, "checkpoints"))
         engine = AnalysisEngine(
             source, division=division, strategy="incremental", store=store
         )
         engine.run()
         digest_before = state_digest(engine.attributes, include_ids=True)
-        epochs = store.epochs()
+        epochs = engine.session.sink.epochs()
         print(f"first run: {len(epochs)} epochs persisted "
-              f"({sum(len(e.data) for e in epochs)} bytes)")
+              f"({sum(len(e.data) for e in epochs)} bytes, "
+              f"{engine.session.deltas_since_full} deltas on the chain)")
 
         # -- simulate a crash mid-write of one more epoch ---------------------
         torn_path = os.path.join(store.directory, f"epoch-{len(epochs):06d}.ckpt")

@@ -7,19 +7,26 @@ Run with::
 Walks through the whole core API on a small order-book-like structure:
 
 1. declare checkpointable classes with field descriptors,
-2. take a base (full) checkpoint,
+2. open a :class:`~repro.runtime.session.CheckpointSession` over the root
+   and take a base (full) checkpoint,
 3. mutate a few objects — the framework tracks modification flags
-   automatically — and take incremental checkpoints,
-4. "crash", and rebuild the exact state from base + deltas.
+   automatically — and commit incremental delta epochs,
+4. "crash", and rebuild the exact state from base + deltas via the
+   session's recovery line.
+
+Everything flows through the session: the strategy (here the generic
+incremental driver) produces each epoch's bytes, and the sink — an
+in-process :class:`~repro.runtime.sink.BufferSink` — collects them the way
+a durable store would (swap in a directory path to persist across
+processes).
 """
 
 from repro import (
-    Checkpoint,
+    BufferSink,
+    CheckpointSession,
     Checkpointable,
-    FullCheckpoint,
     child,
     child_list,
-    replay,
     scalar,
     scalar_list,
 )
@@ -65,36 +72,29 @@ def main() -> None:
     exchange = build_exchange()
     root_id = exchange.get_checkpoint_info().object_id
 
-    # -- 2. base checkpoint: records every reachable object ------------------
-    base_driver = FullCheckpoint()
-    base_driver.checkpoint(exchange)
-    base = base_driver.getvalue()
-    print(f"base checkpoint: {len(base)} bytes")
+    # -- 2. open a session; the base records every reachable object ----------
+    session = CheckpointSession(roots=exchange, sink=BufferSink())
+    base = session.base()
+    print(f"base checkpoint: {base.size} bytes")
 
-    deltas = []
-
-    # -- 3. mutate and take incremental checkpoints --------------------------
+    # -- 3. mutate and commit incremental delta epochs -----------------------
     exchange.accounts[1].cash = 1250.0  # one scalar write -> one dirty object
     exchange.accounts[1].audit.append(1)
-    delta_driver = Checkpoint()
-    delta_driver.checkpoint(exchange)
-    deltas.append(delta_driver.getvalue())
-    print(f"delta 1 (one account touched): {len(deltas[-1])} bytes")
+    delta1 = session.commit()
+    print(f"delta 1 (one account touched): {delta1.size} bytes")
 
     exchange.accounts[2].positions[0].quantity = 11
     exchange.best_account = exchange.accounts[2]  # child pointer change
-    delta_driver = Checkpoint()
-    delta_driver.checkpoint(exchange)
-    deltas.append(delta_driver.getvalue())
-    print(f"delta 2 (position + root pointer): {len(deltas[-1])} bytes")
+    delta2 = session.commit()
+    print(f"delta 2 (position + root pointer): {delta2.size} bytes")
 
-    # An incremental checkpoint with nothing modified is (almost) free.
-    empty_driver = Checkpoint()
-    empty_driver.checkpoint(exchange)
-    print(f"delta with no modifications: {empty_driver.size} bytes")
+    # An incremental commit with nothing modified is (almost) free.
+    empty = session.commit()
+    print(f"delta with no modifications: {empty.size} bytes")
 
     # -- 4. crash and recover -------------------------------------------------
-    table = replay(base, deltas)
+    # The sink holds the recovery line: the base plus every delta after it.
+    table = session.recover()
     recovered = table[root_id]
 
     assert isinstance(recovered, Exchange)

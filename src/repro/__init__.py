@@ -15,6 +15,14 @@ The package provides:
   facts (:class:`~repro.spec.shape.Shape`) and modification-pattern facts
   (:class:`~repro.spec.modpattern.ModificationPattern`), emitting monolithic
   specialized checkpoint functions as compiled Python.
+- :mod:`repro.runtime` — the unified checkpoint runtime: a
+  :class:`~repro.runtime.session.CheckpointSession` owning root objects, a
+  pluggable :class:`~repro.runtime.strategy.StrategyRegistry` of
+  checkpointing tiers with per-phase overrides, an
+  :class:`~repro.runtime.policy.EpochPolicy` for full-vs-delta cadence and
+  automatic compaction, and :class:`~repro.runtime.sink.Sink` targets
+  unifying byte buffers, durable stores, and asynchronous writers behind
+  one ``commit()`` path.
 - :mod:`repro.vm` — a metered abstract machine: exact operation-count models
   of every checkpointing variant plus cost profiles standing in for the
   paper's three execution environments (JDK 1.2 JIT, HotSpot, Harissa).
@@ -51,6 +59,21 @@ from repro.core.info import CheckpointInfo
 from repro.core.restore import apply_incremental, replay, restore_full
 from repro.core.storage import FileStore, MemoryStore
 from repro.core.streams import DataInputStream, DataOutputStream
+from repro.runtime import (
+    DEFAULT_STRATEGIES,
+    AutoSpecStrategy,
+    BufferSink,
+    CheckpointSession,
+    CommitResult,
+    DriverStrategy,
+    EpochPolicy,
+    NullSink,
+    Sink,
+    SpecializedStrategy,
+    StoreSink,
+    Strategy,
+    StrategyRegistry,
+)
 from repro.spec.autospec import AutoSpecializer, PatternObserver
 from repro.spec.effects import (
     EffectReport,
@@ -93,6 +116,19 @@ __all__ = [
     "replay",
     "MemoryStore",
     "FileStore",
+    "CheckpointSession",
+    "CommitResult",
+    "EpochPolicy",
+    "Sink",
+    "NullSink",
+    "BufferSink",
+    "StoreSink",
+    "Strategy",
+    "DriverStrategy",
+    "SpecializedStrategy",
+    "AutoSpecStrategy",
+    "StrategyRegistry",
+    "DEFAULT_STRATEGIES",
     "Shape",
     "ModificationPattern",
     "SpecClass",

@@ -31,6 +31,20 @@ def main(argv=None) -> int:
         default=None,
         help="override the synthetic population size",
     )
+    parser.add_argument(
+        "--kernels",
+        type=int,
+        default=None,
+        help="override the analyzed program's kernel count (table1 only; "
+        "small values give a fast smoke run)",
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=None,
+        metavar="DIR",
+        help="also write each result as machine-readable BENCH_<id>.json "
+        "under DIR",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or ["all"]
@@ -40,12 +54,16 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    kwargs = {"paper_scale": args.paper_scale, "structures": args.structures}
+    if args.kernels is not None:
+        kwargs["kernels"] = args.kernels
     for name in names:
         start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](
-            paper_scale=args.paper_scale, structures=args.structures
-        )
+        result = ALL_EXPERIMENTS[name](**kwargs)
         result.print()
+        if args.json_dir is not None:
+            path = result.write_json(args.json_dir)
+            print(f"[wrote {path}]")
         print(f"[{name} completed in {time.perf_counter() - start:.1f}s]")
         print()
     return 0

@@ -20,7 +20,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.analysis.engine import AnalysisEngine
-from repro.analysis.programs import image_division, paper_scale_source
+from repro.analysis.programs import (
+    image_division,
+    image_pipeline_source,
+    paper_scale_source,
+)
 from repro.bench.reporting import ExperimentResult, megabytes
 from repro.synthetic.runner import (
     SyntheticConfig,
@@ -64,15 +68,23 @@ def _percent_label(percent: float) -> str:
 # ---------------------------------------------------------------------------
 
 
-def table1(paper_scale: bool = False, structures: Optional[int] = None) -> ExperimentResult:
+def table1(
+    paper_scale: bool = False,
+    structures: Optional[int] = None,
+    kernels: Optional[int] = None,
+) -> ExperimentResult:
     """Checkpoint size and time for the BTA and ETA phases (paper Table 1).
 
     Full vs incremental vs specialized incremental checkpointing of the
     program analysis engine over the generated ~750-line image program;
     sizes of the smallest/largest per-iteration checkpoint and total
-    checkpoint/traversal times per phase.
+    checkpoint/traversal times per phase. ``kernels`` overrides the
+    analyzed program's size (default: the paper-scale 11-kernel pipeline;
+    CI smoke runs use a reduced pipeline).
     """
-    source = paper_scale_source()
+    source = paper_scale_source() if kernels is None else image_pipeline_source(
+        kernels=kernels
+    )
     result = ExperimentResult(
         "Table 1",
         "Checkpoint size (Mb) and execution time (s), program analysis engine",
@@ -187,7 +199,11 @@ _SPEEDUP_HEADERS = (
 )
 
 
-def fig7(paper_scale: bool = False, structures: Optional[int] = None) -> ExperimentResult:
+def fig7(
+    paper_scale: bool = False,
+    structures: Optional[int] = None,
+    kernels: Optional[int] = None,
+) -> ExperimentResult:
     """Incremental vs full checkpointing (paper Figure 7, Harissa)."""
     count = _population(paper_scale, structures)
     result = ExperimentResult(
@@ -212,7 +228,11 @@ def fig7(paper_scale: bool = False, structures: Optional[int] = None) -> Experim
     return result
 
 
-def fig8(paper_scale: bool = False, structures: Optional[int] = None) -> ExperimentResult:
+def fig8(
+    paper_scale: bool = False,
+    structures: Optional[int] = None,
+    kernels: Optional[int] = None,
+) -> ExperimentResult:
     """Specialization w.r.t. the object structure (paper Figure 8, Harissa)."""
     count = _population(paper_scale, structures)
     result = ExperimentResult(
@@ -235,7 +255,11 @@ def fig8(paper_scale: bool = False, structures: Optional[int] = None) -> Experim
     return result
 
 
-def fig9(paper_scale: bool = False, structures: Optional[int] = None) -> ExperimentResult:
+def fig9(
+    paper_scale: bool = False,
+    structures: Optional[int] = None,
+    kernels: Optional[int] = None,
+) -> ExperimentResult:
     """Specialization w.r.t. structure + the set of lists that may contain
     modified elements (paper Figure 9, Harissa, lists of length 5)."""
     count = _population(paper_scale, structures)
@@ -265,7 +289,11 @@ def fig9(paper_scale: bool = False, structures: Optional[int] = None) -> Experim
     return result
 
 
-def fig10(paper_scale: bool = False, structures: Optional[int] = None) -> ExperimentResult:
+def fig10(
+    paper_scale: bool = False,
+    structures: Optional[int] = None,
+    kernels: Optional[int] = None,
+) -> ExperimentResult:
     """Specialization w.r.t. structure + last-element-only positions
     (paper Figure 10, Harissa)."""
     count = _population(paper_scale, structures)
@@ -302,7 +330,11 @@ def fig10(paper_scale: bool = False, structures: Optional[int] = None) -> Experi
     return result
 
 
-def fig11(paper_scale: bool = False, structures: Optional[int] = None) -> ExperimentResult:
+def fig11(
+    paper_scale: bool = False,
+    structures: Optional[int] = None,
+    kernels: Optional[int] = None,
+) -> ExperimentResult:
     """The Figure 10 experiment on the Sun VMs (paper Figure 11a/11b)."""
     count = _population(paper_scale, structures)
     result = ExperimentResult(
@@ -335,7 +367,11 @@ def fig11(paper_scale: bool = False, structures: Optional[int] = None) -> Experi
     return result
 
 
-def table2(paper_scale: bool = False, structures: Optional[int] = None) -> ExperimentResult:
+def table2(
+    paper_scale: bool = False,
+    structures: Optional[int] = None,
+    kernels: Optional[int] = None,
+) -> ExperimentResult:
     """Absolute checkpoint times, unspecialized vs specialized, per VM
     (paper Table 2: 10 integers per element, last-element positions)."""
     count = _population(paper_scale, structures)

@@ -1,7 +1,10 @@
-"""Plain-text experiment reports."""
+"""Plain-text and machine-readable experiment reports."""
 
 from __future__ import annotations
 
+import json
+import os
+import re
 from dataclasses import dataclass, field
 from typing import Any, List, Sequence
 
@@ -32,6 +35,31 @@ class ExperimentResult:
     def print(self) -> None:
         print(self.render())
         print()
+
+    # -- machine-readable output -------------------------------------------
+
+    def slug(self) -> str:
+        """Filename-safe experiment identifier (``Table 1`` -> ``table_1``)."""
+        return re.sub(r"[^a-z0-9]+", "_", self.experiment_id.lower()).strip("_")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; rows become lists so tuples survive dumping."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def write_json(self, directory: str) -> str:
+        """Write ``BENCH_<slug>.json`` under ``directory``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{self.slug()}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
 
 
 def _cell(value: Any) -> str:

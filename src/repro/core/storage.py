@@ -117,6 +117,11 @@ class FileStore(CheckpointStore):
     The manifest records the ``{class qualname: serial}`` map of the writing
     process, so a *different* process (after a crash) can translate the
     serials in the stored streams to its own registry.
+
+    Epochs are verified (frame + CRC) at most once per file: verified
+    payloads are cached against the file's stat signature, so repeated
+    :meth:`epochs` / :meth:`recovery_line` calls on a long-lived store only
+    read files that are new or have changed on disk.
     """
 
     def __init__(
@@ -129,6 +134,8 @@ class FileStore(CheckpointStore):
         self._registry = registry or DEFAULT_REGISTRY
         #: zlib-compress epoch payloads on write (reads are transparent)
         self.compress = compress
+        #: index -> (stat signature, verified Epoch)
+        self._verified: Dict[int, tuple] = {}
         os.makedirs(directory, exist_ok=True)
 
     # -- paths --------------------------------------------------------------
@@ -146,24 +153,29 @@ class FileStore(CheckpointStore):
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
         index = self._next_index()
+        plain = bytes(data)
         if self.compress:
-            payload = zlib.compress(bytes(data), level=6)
+            payload = zlib.compress(plain, level=6)
             code = _COMPRESSED_CODES[kind]
         else:
-            payload = bytes(data)
+            payload = plain
             code = _KIND_CODES[kind]
-        data = payload
         header = _HEADER.pack(
-            _MAGIC, _VERSION, code, len(data), zlib.crc32(data)
+            _MAGIC, _VERSION, code, len(payload), zlib.crc32(payload)
         )
         path = self._epoch_path(index)
         tmp_path = path + ".tmp"
         with open(tmp_path, "wb") as handle:
             handle.write(header)
-            handle.write(data)
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        # We just wrote and framed this payload: it is verified by
+        # construction, so seed the cache with the pre-compression bytes.
+        signature = self._stat_signature(path)
+        if signature is not None:
+            self._verified[index] = (signature, Epoch(index, kind, plain))
         self._write_manifest()
         return index
 
@@ -199,15 +211,45 @@ class FileStore(CheckpointStore):
         """Read intact epochs; a torn or corrupt epoch ends the sequence.
 
         Everything from the first unreadable epoch onward is ignored: a
-        delta chain cannot be applied across a hole.
+        delta chain cannot be applied across a hole. An epoch already
+        verified by this store (appended or read earlier) is served from
+        the cache unless its file changed on disk since.
         """
         result: List[Epoch] = []
-        for index, path in self._epoch_files():
+        files = self._epoch_files()
+        live = {index for index, _ in files}
+        # Compaction (or external cleanup) removed the files; the cache
+        # must not outlive them.
+        for index in [i for i in self._verified if i not in live]:
+            del self._verified[index]
+        for index, path in files:
+            signature = self._stat_signature(path)
+            cached = self._verified.get(index)
+            if cached is not None and signature is not None and cached[0] == signature:
+                result.append(cached[1])
+                continue
+            self._verified.pop(index, None)
             data = self._read_epoch(path)
             if data is None:
                 break
-            result.append(Epoch(index, data[0], data[1]))
+            epoch = Epoch(index, data[0], data[1])
+            if signature is not None:
+                self._verified[index] = (signature, epoch)
+            result.append(epoch)
         return result
+
+    @staticmethod
+    def _stat_signature(path: str) -> Optional[tuple]:
+        """Identity of a file's current content, cheap enough to re-check.
+
+        ``None`` (stat failed) disables caching for that file rather than
+        risking a stale entry.
+        """
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        return (stat.st_size, stat.st_mtime_ns, stat.st_ino)
 
     @staticmethod
     def _read_epoch(path: str):
@@ -255,8 +297,13 @@ class BackgroundWriter(CheckpointStore):
     non-blocking hand-off of checkpoint bytes to stable storage. Epochs
     are written in submission order. ``flush`` blocks until everything
     queued so far is durable; ``close`` flushes and stops the thread.
-    A failure in the writer thread is re-raised, wrapped in
-    :class:`StorageError`, by the next call into the writer.
+
+    Failures are **fail-stop**: once a backing write fails, no later epoch
+    is written (an epoch written past a hole could never participate in a
+    recovery line anyway). Epochs already queued at failure time are
+    discarded and *counted*; the error — including that count — is raised,
+    wrapped in :class:`StorageError`, by the next ``flush``, ``close`` or
+    ``epochs`` call, and every subsequent ``append`` raises permanently.
     """
 
     _STOP = object()
@@ -265,6 +312,10 @@ class BackgroundWriter(CheckpointStore):
         self.backing = backing
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queued)
         self._error: Optional[BaseException] = None
+        self._failed = False
+        self._cause: Optional[str] = None
+        #: epochs queued before the failure that were never written
+        self.dropped = 0
         self._closed = False
         self._idle = threading.Event()
         self._idle.set()
@@ -281,11 +332,16 @@ class BackgroundWriter(CheckpointStore):
             try:
                 if item is self._STOP:
                     return
+                if self._failed:
+                    self.dropped += 1  # fail-stop: never write past a hole
+                    continue
                 kind, data = item
                 try:
                     self.backing.append(kind, data)
                 except BaseException as exc:  # surfaced on the next call
                     self._error = exc
+                    self._cause = str(exc)
+                    self._failed = True
             finally:
                 self._queue.task_done()
                 if self._queue.unfinished_tasks == 0:
@@ -294,7 +350,15 @@ class BackgroundWriter(CheckpointStore):
     def _check(self) -> None:
         if self._error is not None:
             error, self._error = self._error, None
-            raise StorageError(f"background checkpoint write failed: {error}")
+            raise StorageError(
+                f"background checkpoint write failed: {error}"
+                + self._dropped_suffix()
+            )
+
+    def _dropped_suffix(self) -> str:
+        if not self.dropped:
+            return ""
+        return f" ({self.dropped} queued epoch(s) discarded, not written)"
 
     # -- CheckpointStore interface ------------------------------------------
 
@@ -303,9 +367,15 @@ class BackgroundWriter(CheckpointStore):
 
         The durable epoch index is assigned by the backing store when the
         writer thread gets to it; use :meth:`flush` + ``backing.epochs()``
-        when exact indices matter.
+        when exact indices matter. After a write failure every append
+        raises: the writer is fail-stop.
         """
-        self._check()
+        if self._failed:
+            self._error = None  # appends report it; no need to re-raise later
+            raise StorageError(
+                f"background checkpoint write failed: {self._cause}"
+                + self._dropped_suffix()
+            )
         if self._closed:
             raise StorageError("background writer is closed")
         if kind not in _KIND_CODES:
@@ -315,19 +385,27 @@ class BackgroundWriter(CheckpointStore):
         return self._queue.qsize()
 
     def flush(self, timeout: Optional[float] = None) -> None:
-        """Block until every queued epoch has been written."""
+        """Block until every queued epoch has been written (or surfaced)."""
         if not self._idle.wait(timeout):
             raise StorageError("timed out waiting for checkpoint writer")
         self._check()
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Flush, stop the writer thread, and surface any pending error."""
+        """Flush, stop the writer thread, and surface any pending error.
+
+        The thread is stopped even when an error is raised; only the
+        *first* close/flush after a failure raises, so shutdown paths that
+        already handled the error can close cleanly.
+        """
         if self._closed:
             return
-        self.flush(timeout)
         self._closed = True
-        self._queue.put(self._STOP)
-        self._thread.join(timeout)
+        try:
+            if not self._idle.wait(timeout):
+                raise StorageError("timed out waiting for checkpoint writer")
+        finally:
+            self._queue.put(self._STOP)
+            self._thread.join(timeout)
         self._check()
 
     def epochs(self) -> List[Epoch]:

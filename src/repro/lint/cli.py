@@ -2,10 +2,12 @@
 
 Usage::
 
-    python -m repro.lint PATH [PATH ...] [--format human|json]
-                              [--strict] [--no-import]
+    python -m repro.lint [PATH ...] [--format human|json]
+                         [--strict] [--no-import]
 
-For every ``.py`` file under the given paths the linter
+With no paths, the installed ``repro`` package itself is linted (which
+covers every built-in module, ``repro.runtime`` included). For every
+``.py`` file under the given paths the linter
 
 1. runs the pure-AST source rules (:mod:`repro.lint.rules`) — no import
    needed, so even broken files are checked;
@@ -272,7 +274,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "residual-program verification."
         ),
     )
-    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
     parser.add_argument(
         "--format",
         choices=("human", "json"),
@@ -291,8 +297,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     options = parser.parse_args(argv)
 
+    paths = options.paths
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+
     try:
-        files = discover(options.paths)
+        files = discover(paths)
     except FileNotFoundError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2

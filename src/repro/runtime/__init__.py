@@ -1,0 +1,57 @@
+"""The unified checkpoint runtime: sessions, strategies, policy, sinks.
+
+This package is the single seam the paper's pipeline — generic driver →
+specialized per-phase routine → output stream → stable storage — flows
+through in this repository. Every consumer (the analysis engine, the
+synthetic benchmark, the experiment harness, the examples) builds a
+:class:`~repro.runtime.session.CheckpointSession` instead of wiring
+drivers, specialized routines, and stores by hand.
+
+- :mod:`repro.runtime.session` — the session: owns roots, commits epochs,
+  recovers state.
+- :mod:`repro.runtime.strategy` — how commit bytes are produced: the
+  generic driver tiers, compiled specializations, observation-driven
+  auto-specialization; all selectable by name via the
+  :class:`~repro.runtime.strategy.StrategyRegistry`.
+- :mod:`repro.runtime.policy` — full-vs-delta cadence, automatic
+  compaction, delta-chain bounds.
+- :mod:`repro.runtime.sink` — where committed epochs drain: byte buffers,
+  durable stores, asynchronous writers, all behind one ``put()``.
+"""
+
+from repro.runtime.policy import EpochPolicy
+from repro.runtime.session import CheckpointSession, CommitResult
+from repro.runtime.sink import (
+    BufferSink,
+    NullSink,
+    Sink,
+    StoreSink,
+    sink_for,
+)
+from repro.runtime.strategy import (
+    DEFAULT_STRATEGIES,
+    AutoSpecStrategy,
+    DriverStrategy,
+    NullStrategy,
+    SpecializedStrategy,
+    Strategy,
+    StrategyRegistry,
+)
+
+__all__ = [
+    "CheckpointSession",
+    "CommitResult",
+    "EpochPolicy",
+    "Sink",
+    "NullSink",
+    "BufferSink",
+    "StoreSink",
+    "sink_for",
+    "Strategy",
+    "NullStrategy",
+    "DriverStrategy",
+    "SpecializedStrategy",
+    "AutoSpecStrategy",
+    "StrategyRegistry",
+    "DEFAULT_STRATEGIES",
+]

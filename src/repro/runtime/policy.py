@@ -1,0 +1,102 @@
+"""Epoch cadence: when a commit is a full checkpoint, when to compact.
+
+The paper's scheme alternates one full checkpoint (the recovery base) with
+a chain of incremental deltas; recovery replays base + chain, so an
+unbounded chain makes recovery arbitrarily slow and retains dead epochs.
+:class:`EpochPolicy` centralizes both decisions that the pre-runtime
+consumers each hard-coded:
+
+- *cadence* — which commits are recorded as full epochs
+  (:meth:`EpochPolicy.kind_for`), and
+- *compaction* — when the session folds the store's recovery line into a
+  fresh base (:meth:`EpochPolicy.should_compact`).
+
+Policies are immutable value objects; the session owns the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import CheckpointError
+from repro.core.storage import FULL, INCREMENTAL
+
+
+@dataclass(frozen=True)
+class EpochPolicy:
+    """Full-vs-delta cadence and delta-chain length bounds.
+
+    Parameters
+    ----------
+    full_interval:
+        Record every ``full_interval``-th commit (counting from the
+        first, which is always full under this setting) with the full
+        driver, starting a new recovery base. ``None`` (default) means
+        only explicit :meth:`~repro.runtime.session.CheckpointSession.base`
+        calls produce full epochs — the paper's base-then-deltas shape.
+    max_delta_chain:
+        Compact the attached store once more than this many deltas have
+        accumulated since the last full epoch. ``None`` disables
+        automatic compaction.
+    keep_history:
+        Passed through to :func:`repro.core.storage.compact`: keep the
+        epochs superseded by the new base instead of deleting them.
+    """
+
+    full_interval: Optional[int] = None
+    max_delta_chain: Optional[int] = None
+    keep_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.full_interval is not None and self.full_interval < 1:
+            raise CheckpointError(
+                f"full_interval must be >= 1, got {self.full_interval}"
+            )
+        if self.max_delta_chain is not None and self.max_delta_chain < 1:
+            raise CheckpointError(
+                f"max_delta_chain must be >= 1, got {self.max_delta_chain}"
+            )
+
+    # -- the two decisions ---------------------------------------------------
+
+    def kind_for(self, commits_so_far: int, deltas_since_full: int) -> str:
+        """The epoch kind of the next commit.
+
+        ``commits_so_far`` counts previously committed epochs (so the
+        first commit sees 0); ``deltas_since_full`` counts deltas since
+        the last full epoch (or ever, if none was taken).
+        """
+        if self.full_interval is not None:
+            if commits_so_far % self.full_interval == 0:
+                return FULL
+        return INCREMENTAL
+
+    def should_compact(self, deltas_since_full: int) -> bool:
+        """Whether the delta chain is now longer than the policy allows."""
+        return (
+            self.max_delta_chain is not None
+            and deltas_since_full > self.max_delta_chain
+        )
+
+    # -- presets -------------------------------------------------------------
+
+    @classmethod
+    def delta_only(cls) -> "EpochPolicy":
+        """Every commit is a delta; fulls only via explicit ``base()``.
+
+        This is the paper's shape and the session default.
+        """
+        return cls()
+
+    @classmethod
+    def periodic_full(cls, interval: int) -> "EpochPolicy":
+        """A fresh full epoch every ``interval`` commits (first included)."""
+        return cls(full_interval=interval)
+
+    @classmethod
+    def bounded_chain(
+        cls, max_delta_chain: int, keep_history: bool = False
+    ) -> "EpochPolicy":
+        """Compact automatically once the chain exceeds ``max_delta_chain``."""
+        return cls(max_delta_chain=max_delta_chain, keep_history=keep_history)

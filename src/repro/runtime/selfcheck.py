@@ -1,0 +1,73 @@
+"""The runtime's own lint target: a session phase under static analysis.
+
+Consumers of :mod:`repro.runtime` declare per-phase strategies; the
+soundness story for specialized strategies is the same as for direct
+driver use — the phase may only modify positions its pattern declares.
+This module ships a canonical probe structure and phase, declared via
+``LINT_TARGETS``, so ``python -m repro.lint`` (which defaults to the
+whole ``repro`` package) runs the effect analysis, the pattern soundness
+diff, and the residual verifier over the runtime layer's reference
+usage. It doubles as an executable example of binding a specialized
+strategy built from a declared pattern.
+"""
+
+from __future__ import annotations
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, scalar
+from repro.lint.targets import LintTarget
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Shape
+from repro.spec.specclass import SpecClass
+
+
+class ProbeCounter(Checkpointable):
+    """The one position the probe phase is allowed to touch."""
+
+    count = scalar("int")
+
+
+class ProbeMeta(Checkpointable):
+    """Quiescent during the probe phase: specialization skips it."""
+
+    label = scalar("str")
+    revision = scalar("int")
+
+
+class ProbeRoot(Checkpointable):
+    counter = child(ProbeCounter)
+    meta = child(ProbeMeta)
+
+
+def probe_prototype() -> ProbeRoot:
+    return ProbeRoot(
+        counter=ProbeCounter(count=0),
+        meta=ProbeMeta(label="probe", revision=1),
+    )
+
+
+PROBE_SHAPE = Shape.of(probe_prototype())
+
+#: the phase's promise: only the counter subtree may be dirtied
+PROBE_PATTERN = ModificationPattern.only(PROBE_SHAPE, [("counter",)])
+
+
+def probe_phase(root: ProbeRoot) -> None:
+    """The work a session runs between commits of the probe structure."""
+    root.counter.count += 1
+
+
+def probe_spec() -> SpecClass:
+    """The specialization a session strategy would bind for the phase."""
+    return SpecClass(PROBE_SHAPE, PROBE_PATTERN, name="runtime_probe")
+
+
+LINT_TARGETS = [
+    LintTarget(
+        "runtime-session-probe",
+        shape=PROBE_SHAPE,
+        phases=[probe_phase],
+        pattern=PROBE_PATTERN,
+        roots=["root"],
+    ),
+]

@@ -1,0 +1,378 @@
+"""The checkpoint session: one seam over the paper's whole pipeline.
+
+``generic driver → specialized per-phase routine → output stream → stable
+storage`` used to be wired separately by every consumer in this
+repository. A :class:`CheckpointSession` owns that pipeline once:
+
+- the **root objects** being checkpointed (a fixed sequence or a callable
+  for live collections),
+- the **strategy** producing each checkpoint's bytes, selected by name
+  through a :class:`~repro.runtime.strategy.StrategyRegistry` and
+  overridable *per phase* — the paper's per-phase specialization means a
+  session swaps strategies at phase boundaries
+  (:meth:`CheckpointSession.bind`),
+- the **epoch policy** deciding full-vs-delta cadence and delta-chain
+  length bounds (:class:`~repro.runtime.policy.EpochPolicy`), including
+  automatic compaction of the attached store,
+- the **sink** the committed epochs drain into
+  (:mod:`repro.runtime.sink`).
+
+Typical lifecycle::
+
+    session = CheckpointSession(roots=root, sink="ckpts/")
+    session.base()                    # full checkpoint: the recovery base
+    while working:
+        mutate(root)                  # flags tracked by the framework
+        session.commit()              # one incremental delta epoch
+    table = session.recover()         # base + deltas -> live state
+
+Commits are byte-identical to the direct driver paths they replaced; the
+equivalence test suite pins this for every strategy tier.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.checkpoint import FullCheckpoint
+from repro.core.checkpointable import Checkpointable
+from repro.core.errors import CheckpointError, StorageError
+from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
+from repro.core.restore import ObjectTable
+from repro.core.storage import FULL, INCREMENTAL, _KIND_CODES
+from repro.core.streams import DataOutputStream
+from repro.runtime.policy import EpochPolicy
+from repro.runtime.sink import Sink, sink_for
+from repro.runtime.strategy import (
+    DEFAULT_STRATEGIES,
+    DriverStrategy,
+    Strategy,
+    StrategyRegistry,
+)
+
+#: one shared instance; the full driver is stateless between commits
+_FULL_DRIVER = DriverStrategy("full", FullCheckpoint)
+
+RootsLike = Union[
+    Checkpointable,
+    Sequence[Checkpointable],
+    Callable[[], Sequence[Checkpointable]],
+]
+
+
+def _roots_provider(roots: RootsLike) -> Callable[[], Sequence[Checkpointable]]:
+    """Normalize what callers naturally have into a roots callable."""
+    if callable(roots) and not isinstance(roots, Checkpointable):
+        return roots
+    if isinstance(roots, Checkpointable):
+        single = (roots,)
+        return lambda: single
+    try:
+        fixed = list(roots)
+    except TypeError:
+        raise CheckpointError(
+            f"cannot use {roots!r} as session roots (expected a "
+            "Checkpointable, a sequence of them, or a callable)"
+        )
+    for obj in fixed:
+        if not isinstance(obj, Checkpointable):
+            raise CheckpointError(
+                f"session root {obj!r} is not a Checkpointable"
+            )
+    return lambda: fixed
+
+
+@dataclass
+class CommitResult:
+    """What one commit produced (and how long the strategy took)."""
+
+    kind: str
+    data: bytes
+    wall_seconds: float
+    strategy: str
+    phase: Optional[str] = None
+    #: index assigned by the sink's store, when it assigns one
+    epoch_index: Optional[int] = None
+    #: whether this commit triggered an automatic compaction
+    compacted: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class CheckpointSession:
+    """Owns roots, strategy selection, epoch cadence, and the sink.
+
+    Parameters
+    ----------
+    roots:
+        What gets checkpointed: a single :class:`Checkpointable`, a
+        sequence of them, or a zero-argument callable returning the
+        current sequence (for collections that change between commits).
+    strategy:
+        The default strategy: a registered name, a
+        :class:`~repro.runtime.strategy.Strategy` instance, or a factory.
+    registry:
+        The :class:`~repro.runtime.strategy.StrategyRegistry` names are
+        resolved against (default: the built-in tiers).
+    policy:
+        The :class:`~repro.runtime.policy.EpochPolicy`
+        (default: :meth:`~repro.runtime.policy.EpochPolicy.delta_only`).
+    sink:
+        Where epochs go — anything :func:`~repro.runtime.sink.sink_for`
+        accepts: ``None``, a store, a directory path, or a sink.
+    class_registry:
+        The :class:`~repro.core.registry.ClassRegistry` used for recovery
+        and compaction (default: the process-wide registry).
+    """
+
+    def __init__(
+        self,
+        roots: RootsLike = (),
+        strategy: Union[str, Strategy, Callable[[], Strategy]] = "incremental",
+        *,
+        registry: Optional[StrategyRegistry] = None,
+        policy: Optional[EpochPolicy] = None,
+        sink=None,
+        class_registry: Optional[ClassRegistry] = None,
+    ) -> None:
+        self.registry = registry or DEFAULT_STRATEGIES
+        self.policy = policy or EpochPolicy.delta_only()
+        self.sink: Sink = sink_for(sink)
+        self.class_registry = class_registry or DEFAULT_REGISTRY
+        self._roots = _roots_provider(roots)
+        self._default = self.registry.resolve(strategy)
+        self._phase_specs: Dict[str, object] = {}
+        self._phase_cache: Dict[str, Strategy] = {}
+        self._closed = False
+
+        #: epochs committed through this session (base() included)
+        self.commits = 0
+        #: checkpoint bytes produced by committed epochs
+        self.bytes_written = 0
+        #: incremental epochs since the last full epoch
+        self.deltas_since_full = 0
+        #: automatic + explicit compactions performed
+        self.compactions = 0
+        #: every commit's :class:`CommitResult`, in order
+        self.history: List[CommitResult] = []
+
+    # -- strategy selection --------------------------------------------------
+
+    def bind(self, phase: str, strategy) -> None:
+        """Override the strategy used for commits tagged ``phase``.
+
+        ``strategy`` is resolved through the session's registry: a name,
+        a :class:`~repro.runtime.strategy.Strategy`, or a factory
+        (factories are resolved lazily, on the phase's first commit).
+        Rebinding a phase replaces the override.
+        """
+        self._phase_specs[phase] = strategy
+        self._phase_cache.pop(phase, None)
+
+    def bound(self, phase: str) -> bool:
+        """Whether ``phase`` has its own strategy override."""
+        return phase in self._phase_specs
+
+    def unbind(self, phase: Optional[str] = None) -> None:
+        """Drop one phase's strategy override — or all of them.
+
+        Used when the facts a bound strategy was compiled against change
+        (e.g. recovery replaced the structures it was specialized for).
+        """
+        if phase is None:
+            self._phase_specs.clear()
+            self._phase_cache.clear()
+        else:
+            self._phase_specs.pop(phase, None)
+            self._phase_cache.pop(phase, None)
+
+    def strategy_for(self, phase: Optional[str] = None) -> Strategy:
+        """The strategy a commit tagged ``phase`` would use."""
+        if phase is None or phase not in self._phase_specs:
+            return self._default
+        cached = self._phase_cache.get(phase)
+        if cached is None:
+            cached = self.registry.resolve(self._phase_specs[phase])
+            self._phase_cache[phase] = cached
+        return cached
+
+    # -- committing ----------------------------------------------------------
+
+    def roots(self) -> Sequence[Checkpointable]:
+        """The current root objects."""
+        return self._roots()
+
+    def base(self, roots: Optional[RootsLike] = None) -> CommitResult:
+        """Record a full checkpoint: the base of the incremental chain.
+
+        Always uses the full driver — every reachable object is recorded
+        and flags are cleared, so subsequent :meth:`commit` deltas apply
+        on top of it.
+        """
+        return self._commit(_FULL_DRIVER, FULL, phase=None, roots=roots)
+
+    def commit(
+        self,
+        phase: Optional[str] = None,
+        roots: Optional[RootsLike] = None,
+        kind: Optional[str] = None,
+    ) -> CommitResult:
+        """Record one checkpoint epoch through the session pipeline.
+
+        With ``kind=None`` the epoch policy decides: a scheduled full
+        epoch is recorded with the full driver (it must be a standalone
+        recovery base), anything else with the phase's strategy. An
+        explicit ``kind`` only labels the epoch — the strategy still
+        produces the bytes, which is how a full-tier strategy commits
+        full-content epochs under a delta label or vice versa.
+        """
+        strategy = self.strategy_for(phase)
+        if kind is None:
+            kind = self.policy.kind_for(self.commits, self.deltas_since_full)
+            if kind == FULL:
+                strategy = _FULL_DRIVER
+        elif kind not in _KIND_CODES:
+            raise StorageError(f"unknown checkpoint kind {kind!r}")
+        return self._commit(strategy, kind, phase=phase, roots=roots)
+
+    def measure(
+        self,
+        phase: Optional[str] = None,
+        roots: Optional[RootsLike] = None,
+    ) -> CommitResult:
+        """Run the phase's strategy without persisting or counting.
+
+        Used for pure measurement — e.g. the paper's traversal-cost runs,
+        which repeat a checkpoint immediately so nothing is modified.
+        """
+        strategy = self.strategy_for(phase)
+        out = DataOutputStream()
+        use = self._resolve_roots(roots)
+        start = time.perf_counter()
+        strategy.write(use, out)
+        wall = time.perf_counter() - start
+        return CommitResult(
+            kind=INCREMENTAL,
+            data=out.getvalue(),
+            wall_seconds=wall,
+            strategy=strategy.name,
+            phase=phase,
+        )
+
+    def commit_bytes(
+        self,
+        kind: str,
+        data: bytes,
+        phase: Optional[str] = None,
+        wall_seconds: float = 0.0,
+    ) -> CommitResult:
+        """Commit pre-produced checkpoint bytes (e.g. from a metered run).
+
+        The bytes enter the same sink/policy path as a normal commit, so
+        instrumented producers still get epoch accounting and automatic
+        compaction.
+        """
+        if kind not in _KIND_CODES:
+            raise StorageError(f"unknown checkpoint kind {kind!r}")
+        self._ensure_open()
+        result = CommitResult(
+            kind=kind,
+            data=bytes(data),
+            wall_seconds=wall_seconds,
+            strategy="bytes",
+            phase=phase,
+        )
+        self._persist(result)
+        return result
+
+    def _commit(
+        self,
+        strategy: Strategy,
+        kind: str,
+        phase: Optional[str],
+        roots: Optional[RootsLike],
+    ) -> CommitResult:
+        self._ensure_open()
+        out = DataOutputStream()
+        use = self._resolve_roots(roots)
+        start = time.perf_counter()
+        strategy.write(use, out)
+        wall = time.perf_counter() - start
+        result = CommitResult(
+            kind=kind,
+            data=out.getvalue(),
+            wall_seconds=wall,
+            strategy=strategy.name,
+            phase=phase,
+        )
+        self._persist(result)
+        return result
+
+    def _persist(self, result: CommitResult) -> None:
+        result.epoch_index = self.sink.put(result.kind, result.data)
+        self.commits += 1
+        self.bytes_written += result.size
+        if result.kind == FULL:
+            self.deltas_since_full = 0
+        else:
+            self.deltas_since_full += 1
+        if (
+            self.sink.can_compact
+            and self.policy.should_compact(self.deltas_since_full)
+        ):
+            self.compact()
+            result.compacted = True
+        self.history.append(result)
+
+    def _resolve_roots(
+        self, roots: Optional[RootsLike]
+    ) -> Sequence[Checkpointable]:
+        if roots is None:
+            return self._roots()
+        return _roots_provider(roots)()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise CheckpointError("the checkpoint session is closed")
+
+    # -- store lifecycle -----------------------------------------------------
+
+    def compact(self) -> int:
+        """Fold the sink's recovery line into a fresh full epoch."""
+        index = self.sink.compact(
+            self.class_registry, keep_history=self.policy.keep_history
+        )
+        self.deltas_since_full = 0
+        self.compactions += 1
+        return index
+
+    def recover(self) -> ObjectTable:
+        """Rebuild the object table from the sink's recovery line."""
+        return self.sink.recover(self.class_registry)
+
+    def flush(self) -> None:
+        """Block until every committed epoch is durable."""
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Flush and close the sink; further commits raise."""
+        if self._closed:
+            return
+        self.sink.close()
+        self._closed = True
+
+    def __enter__(self) -> "CheckpointSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointSession(strategy={self._default.name!r}, "
+            f"commits={self.commits}, deltas={self.deltas_since_full})"
+        )

@@ -1,0 +1,174 @@
+"""Sinks: where committed epochs go.
+
+The paper drains the checkpoint output stream to stable storage; the
+consumers in this repository grew three different drains — raw
+:class:`~repro.core.streams.DataOutputStream` byte buffers, the
+:class:`~repro.core.storage.MemoryStore`/:class:`~repro.core.storage.FileStore`
+stores, and the asynchronous :class:`~repro.core.storage.BackgroundWriter`.
+A :class:`Sink` unifies them behind one ``put(kind, data)`` path so the
+:class:`~repro.runtime.session.CheckpointSession` commits identically no
+matter what is underneath:
+
+- :class:`NullSink` — discard (measurement-only sessions),
+- :class:`BufferSink` — keep epochs in process (tests, examples, replay),
+- :class:`StoreSink` — append to any :class:`~repro.core.storage.CheckpointStore`,
+  including a :class:`~repro.core.storage.BackgroundWriter` front (whose
+  queue is flushed before recovery or compaction).
+
+:func:`sink_for` coerces what a caller naturally has — ``None``, a store,
+a directory path, or a sink — into a sink.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.core.errors import StorageError
+from repro.core.registry import ClassRegistry
+from repro.core.restore import ObjectTable
+from repro.core.storage import (
+    BackgroundWriter,
+    CheckpointStore,
+    Epoch,
+    FileStore,
+    MemoryStore,
+    compact as storage_compact,
+)
+
+
+class Sink:
+    """One ``commit()`` target; epochs enter in order through :meth:`put`."""
+
+    #: whether :meth:`recover` is meaningful for this sink
+    can_recover: bool = False
+    #: whether :meth:`compact` is meaningful for this sink
+    can_compact: bool = False
+
+    def put(self, kind: str, data: bytes) -> Optional[int]:
+        """Accept one epoch; returns its index when the sink assigns one."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Block until everything put so far is durable (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources; the sink accepts no further epochs."""
+
+    def recover(self, registry: Optional[ClassRegistry] = None) -> ObjectTable:
+        """Rebuild the object table from the sink's recovery line."""
+        raise StorageError(f"{type(self).__name__} cannot recover state")
+
+    def compact(
+        self,
+        registry: Optional[ClassRegistry] = None,
+        keep_history: bool = False,
+    ) -> int:
+        """Fold the recovery line into a fresh full epoch (see storage)."""
+        raise StorageError(f"{type(self).__name__} cannot compact")
+
+
+class NullSink(Sink):
+    """Swallows every epoch: sessions that only measure, never persist."""
+
+    def __init__(self) -> None:
+        self.discarded = 0
+
+    def put(self, kind: str, data: bytes) -> Optional[int]:
+        self.discarded += 1
+        return None
+
+
+class StoreSink(Sink):
+    """Drain epochs into any :class:`~repro.core.storage.CheckpointStore`.
+
+    A :class:`~repro.core.storage.BackgroundWriter` works transparently:
+    ``flush``/``close`` delegate to it, and recovery/compaction flush the
+    queue first, then operate on the durable backing store.
+    """
+
+    can_recover = True
+    can_compact = True
+
+    def __init__(self, store: CheckpointStore) -> None:
+        self.store = store
+
+    def put(self, kind: str, data: bytes) -> Optional[int]:
+        return self.store.append(kind, data)
+
+    def flush(self) -> None:
+        flush = getattr(self.store, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    def _durable_store(self) -> CheckpointStore:
+        """The synchronous store, with any async front flushed."""
+        store = self.store
+        if isinstance(store, BackgroundWriter):
+            store.flush()
+            return store.backing
+        return store
+
+    def recover(self, registry: Optional[ClassRegistry] = None) -> ObjectTable:
+        return self.store.recover(registry)
+
+    def compact(
+        self,
+        registry: Optional[ClassRegistry] = None,
+        keep_history: bool = False,
+    ) -> int:
+        return storage_compact(
+            self._durable_store(), registry, keep_history=keep_history
+        )
+
+    def epochs(self) -> List[Epoch]:
+        """The durable epochs of the underlying store."""
+        return self._durable_store().epochs()
+
+
+class BufferSink(StoreSink):
+    """In-process sink over a private :class:`~repro.core.storage.MemoryStore`.
+
+    The session-API replacement for collecting raw checkpoint bytes in a
+    list: epochs stay addressable by kind and index, and the standard
+    recovery line (latest full + following deltas) replays them.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(MemoryStore())
+
+    def data(self, index: int) -> bytes:
+        """The payload of epoch ``index``."""
+        return self.store.epochs()[index].data
+
+    def __len__(self) -> int:
+        return len(self.store.epochs())
+
+
+def sink_for(target) -> Sink:
+    """Coerce ``target`` into a :class:`Sink`.
+
+    - ``None`` → :class:`NullSink` (nothing is persisted),
+    - a :class:`Sink` → itself,
+    - a :class:`~repro.core.storage.CheckpointStore` (including
+      :class:`~repro.core.storage.BackgroundWriter`) → :class:`StoreSink`,
+    - a directory path → :class:`StoreSink` over a new
+      :class:`~repro.core.storage.FileStore` there.
+    """
+    if target is None:
+        return NullSink()
+    if isinstance(target, Sink):
+        return target
+    if isinstance(target, CheckpointStore):
+        return StoreSink(target)
+    if isinstance(target, (str, os.PathLike)):
+        return StoreSink(FileStore(os.fspath(target)))
+    raise StorageError(
+        f"cannot use {target!r} as a checkpoint sink (expected None, a "
+        "Sink, a CheckpointStore, or a directory path)"
+    )

@@ -4,7 +4,9 @@ Builds a population of compound structures, applies a seeded modification
 pattern, and runs any of the checkpointing variants against the *same*
 modification state, reporting wall-clock time, checkpoint size, and
 abstract-machine op counts (from which per-backend simulated times are
-derived).
+derived). Each variant runs as one
+:class:`~repro.runtime.session.CheckpointSession` whose strategy is the
+variant's checkpointing tier (:func:`variant_strategy`).
 
 Variants
 --------
@@ -25,18 +27,18 @@ Variants
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.checkpoint import (
-    Checkpoint,
-    FullCheckpoint,
-    ReflectiveCheckpoint,
-    reset_flags,
-)
+from repro.core.checkpoint import reset_flags
 from repro.core.checkpointable import Checkpointable
-from repro.core.streams import DataOutputStream
+from repro.core.storage import FULL, INCREMENTAL
+from repro.runtime import (
+    DEFAULT_STRATEGIES,
+    CheckpointSession,
+    SpecializedStrategy,
+    Strategy,
+)
 from repro.spec.modpattern import ModificationPattern
 from repro.spec.shape import Shape
 from repro.spec.specclass import SpecClass, SpecializedCheckpointer
@@ -144,6 +146,19 @@ def _specialized(workload: SyntheticWorkload, with_pattern: bool) -> Specialized
     return SpecializedCheckpointer(SpecClass(workload.shape, pattern, name=name))
 
 
+def variant_strategy(
+    workload: SyntheticWorkload, variant: str
+) -> Strategy:
+    """The session strategy implementing one benchmark variant."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if variant in ("spec_struct", "spec_struct_mod"):
+        return SpecializedStrategy(
+            _specialized(workload, variant == "spec_struct_mod"), name=variant
+        )
+    return DEFAULT_STRATEGIES.create(variant)
+
+
 def run_variant(
     workload: SyntheticWorkload,
     variant: str,
@@ -161,32 +176,21 @@ def run_variant(
     """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
-    config = workload.config
     structures = workload.structures
+    strategy = variant_strategy(workload, variant)
     spec_fn: Optional[SpecializedCheckpointer] = None
-    if variant in ("spec_struct", "spec_struct_mod"):
-        spec_fn = _specialized(workload, variant == "spec_struct_mod")
+    if isinstance(strategy, SpecializedStrategy):
+        spec_fn = strategy.checkpointer
 
     # -- wall clock over the real implementation ---------------------------
+    # One session per variant; commits are timed over the strategy alone,
+    # so wall-clock comparisons across variants measure the checkpointers,
+    # not the sink.
     workload.snapshot.restore()
-    out = DataOutputStream()
-    start = time.perf_counter()
-    if variant == "full":
-        driver = FullCheckpoint(out)
-        for root in structures:
-            driver.checkpoint(root)
-    elif variant == "incremental":
-        driver = Checkpoint(out)
-        for root in structures:
-            driver.checkpoint(root)
-    elif variant == "reflective":
-        driver = ReflectiveCheckpoint(out)
-        for root in structures:
-            driver.checkpoint(root)
-    else:
-        spec_fn.checkpoint_all(structures, out)
-    wall = time.perf_counter() - start
-    size = out.size
+    session = CheckpointSession(roots=structures, strategy=strategy)
+    committed = session.commit(kind=FULL if variant == "full" else INCREMENTAL)
+    wall = committed.wall_seconds
+    size = committed.size
 
     # -- abstract machine op counts ----------------------------------------
     counts: Optional[OpCounts] = None

@@ -53,3 +53,48 @@ class TestCli:
         monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"x": fake})
         main(["x", "--structures", "123"])
         assert seen["structures"] == 123
+
+    def test_json_dir_writes_bench_files(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.bench import __main__ as cli
+        from repro.bench.reporting import ExperimentResult
+
+        def fake(paper_scale=False, structures=None):
+            result = ExperimentResult("Table 9", "t", ("c", "d"))
+            result.add_row(1, 2.5)
+            result.add_note("n")
+            return result
+
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"x": fake})
+        assert main(["x", "--json-dir", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_table_9.json"
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert data["experiment_id"] == "Table 9"
+        assert data["headers"] == ["c", "d"]
+        assert data["rows"] == [[1, 2.5]]
+        assert data["notes"] == ["n"]
+
+    def test_kernels_forwarded_when_given(self, monkeypatch):
+        seen = {}
+        from repro.bench import __main__ as cli
+        from repro.bench.reporting import ExperimentResult
+
+        def fake(paper_scale=False, structures=None, kernels=None):
+            seen["kernels"] = kernels
+            return ExperimentResult("x", "t", ("c",))
+
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"x": fake})
+        main(["x", "--kernels", "2"])
+        assert seen["kernels"] == 2
+
+    def test_table1_smoke_with_reduced_kernels(self, tmp_path, monkeypatch, capsys):
+        # The CI smoke invocation, at test scale: must produce a populated
+        # machine-readable report.
+        import json
+
+        assert main(["table1", "--kernels", "2", "--json-dir", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "BENCH_table_1.json").read_text())
+        assert len(data["rows"]) == 6  # 2 phases x 3 strategies
+        assert "Table 1" in capsys.readouterr().out

@@ -135,3 +135,76 @@ class TestBackgroundWriter:
             writer.flush()
             assert not errors
             assert len(backing.epochs()) == 80
+
+
+class _GatedFailingStore(MemoryStore):
+    """Blocks every append on a gate; fails on the Nth call once released.
+
+    Lets a test queue a known number of epochs *behind* the failing write
+    before the writer thread processes any of them.
+    """
+
+    def __init__(self, fail_on: int) -> None:
+        super().__init__()
+        self.gate = threading.Event()
+        self._fail_on = fail_on
+        self._calls = 0
+
+    def append(self, kind, data):
+        assert self.gate.wait(5), "test gate never released"
+        self._calls += 1
+        if self._calls == self._fail_on:
+            raise OSError("disk full")
+        return super().append(kind, data)
+
+
+class TestBackgroundWriterFailStop:
+    def test_failure_mid_queue_counts_discarded_epochs(self):
+        backing = _GatedFailingStore(fail_on=2)
+        writer = BackgroundWriter(backing)
+        for i in range(5):  # epoch 0 writes, 1 fails, 2-4 must be discarded
+            writer.append(INCREMENTAL, b"epoch-%d" % i)
+        backing.gate.set()
+        with pytest.raises(StorageError, match=r"disk full.*3 queued epoch"):
+            writer.flush()
+        assert writer.dropped == 3
+        writer.close()
+
+    def test_nothing_written_past_the_hole(self):
+        backing = _GatedFailingStore(fail_on=2)
+        writer = BackgroundWriter(backing)
+        for i in range(5):
+            writer.append(INCREMENTAL, b"epoch-%d" % i)
+        backing.gate.set()
+        with pytest.raises(StorageError):
+            writer.flush()
+        # Only the pre-failure epoch is durable: an epoch written past the
+        # failed one could never participate in a recovery line.
+        assert [e.data for e in backing.epochs()] == [b"epoch-0"]
+        writer.close()
+
+    def test_append_raises_permanently_after_failure(self):
+        writer = BackgroundWriter(_FailingStore(fail_on=1))
+        writer.append(FULL, b"boom")
+        writer._idle.wait(5)  # let the writer thread hit the failure
+        with pytest.raises(StorageError, match="disk full"):
+            writer.append(FULL, b"after")
+        with pytest.raises(StorageError, match="disk full"):
+            writer.append(FULL, b"after-again")
+        writer.close()  # append already reported the error: close is clean
+
+    def test_close_surfaces_failure_and_stops_thread(self):
+        writer = BackgroundWriter(_FailingStore(fail_on=1))
+        writer.append(FULL, b"boom")
+        with pytest.raises(StorageError, match="disk full"):
+            writer.close()
+        assert not writer._thread.is_alive()
+        writer.close()  # idempotent even after a surfaced failure
+
+    def test_flush_then_close_raises_once(self):
+        writer = BackgroundWriter(_FailingStore(fail_on=1))
+        writer.append(FULL, b"boom")
+        with pytest.raises(StorageError, match="disk full"):
+            writer.flush()
+        writer.close()  # error already surfaced: shutdown is clean
+        assert not writer._thread.is_alive()

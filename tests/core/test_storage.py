@@ -197,3 +197,95 @@ class TestCompressedFileStore:
             fh.write(header + garbage)
         fresh = FileStore(store.directory)
         assert [e.index for e in fresh.epochs()] == [0]
+
+
+class TestFileStoreEpochCache:
+    """epochs() must verify each epoch file at most once per content."""
+
+    @staticmethod
+    def _count_reads(monkeypatch):
+        calls = {"n": 0}
+        original = FileStore._read_epoch
+
+        def counting(path):
+            calls["n"] += 1
+            return original(path)
+
+        monkeypatch.setattr(FileStore, "_read_epoch", staticmethod(counting))
+        return calls
+
+    def test_repeated_epochs_read_each_file_once(self, tmp_path, monkeypatch):
+        directory = str(tmp_path / "ckpt")
+        _persist_history(FileStore(directory))
+        reader = FileStore(directory)  # cold cache: knows nothing yet
+        calls = self._count_reads(monkeypatch)
+        first = reader.epochs()
+        assert calls["n"] == 3
+        second = reader.epochs()
+        assert calls["n"] == 3  # all served from the verified cache
+        assert second == first
+
+    def test_writer_never_rereads_own_appends(self, tmp_path, monkeypatch):
+        calls = self._count_reads(monkeypatch)
+        store = FileStore(str(tmp_path / "ckpt"))
+        root = _persist_history(store)
+        epochs = store.epochs()
+        assert calls["n"] == 0  # appends seeded the cache
+        assert [e.kind for e in epochs] == [FULL, INCREMENTAL, INCREMENTAL]
+        recovered = store.recover()[root._ckpt_info.object_id]
+        assert structurally_equal(root, recovered, compare_ids=True)
+        assert calls["n"] == 0
+
+    def test_only_new_files_are_scanned(self, tmp_path, monkeypatch):
+        directory = str(tmp_path / "ckpt")
+        _persist_history(FileStore(directory))
+        reader = FileStore(directory)
+        reader.epochs()  # warm the cache on epochs 0-2
+        writer = FileStore(directory)  # second handle appends epoch 3
+        writer.append(INCREMENTAL, b"")
+        calls = self._count_reads(monkeypatch)
+        assert [e.index for e in reader.epochs()] == [0, 1, 2, 3]
+        assert calls["n"] == 1  # only the new file was read
+
+    def test_cached_payload_is_decompressed(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"), compress=True)
+        root = _persist_history(store)
+        cold = FileStore(store.directory)
+        assert store.epochs() == cold.epochs()
+        recovered = store.recover()[root._ckpt_info.object_id]
+        assert structurally_equal(root, recovered, compare_ids=True)
+
+    def test_external_change_invalidates_entry(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        store = FileStore(directory)
+        _persist_history(store)
+        assert len(store.epochs()) == 3  # cache is warm
+        # Another process truncates the last epoch mid-write.
+        path = os.path.join(directory, "epoch-000002.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"RCKP")
+        assert [e.index for e in store.epochs()] == [0, 1]
+
+    def test_deleted_files_are_dropped_from_cache(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        store = FileStore(directory)
+        _persist_history(store)
+        store.epochs()
+        os.remove(os.path.join(directory, "epoch-000001.ckpt"))
+        os.remove(os.path.join(directory, "epoch-000002.ckpt"))
+        assert [e.index for e in store.epochs()] == [0]
+        assert set(store._verified) == {0}
+
+    def test_compaction_with_warm_cache(self, tmp_path):
+        from repro.core.storage import compact
+
+        directory = str(tmp_path / "ckpt")
+        store = FileStore(directory)
+        root = _persist_history(store)
+        store.epochs()  # warm
+        new_base = compact(store)
+        epochs = store.epochs()
+        assert [e.index for e in epochs] == [new_base]
+        assert epochs[0].kind == FULL
+        recovered = store.recover()[root._ckpt_info.object_id]
+        assert structurally_equal(root, recovered, compare_ids=True)

@@ -1,0 +1,54 @@
+"""Unit tests for the epoch policy."""
+
+import pytest
+
+from repro.core.errors import CheckpointError
+from repro.core.storage import FULL, INCREMENTAL
+from repro.runtime import EpochPolicy
+
+
+class TestKindFor:
+    def test_delta_only_never_schedules_full(self):
+        policy = EpochPolicy.delta_only()
+        kinds = {policy.kind_for(n, n) for n in range(20)}
+        assert kinds == {INCREMENTAL}
+
+    def test_periodic_full_cadence(self):
+        policy = EpochPolicy.periodic_full(3)
+        kinds = [policy.kind_for(n, 0) for n in range(7)]
+        assert kinds == [FULL, INCREMENTAL, INCREMENTAL] * 2 + [FULL]
+
+    def test_interval_one_is_always_full(self):
+        policy = EpochPolicy.periodic_full(1)
+        assert {policy.kind_for(n, 0) for n in range(5)} == {FULL}
+
+
+class TestShouldCompact:
+    def test_delta_only_never_compacts(self):
+        policy = EpochPolicy.delta_only()
+        assert not any(policy.should_compact(n) for n in range(50))
+
+    def test_bounded_chain_triggers_past_bound(self):
+        policy = EpochPolicy.bounded_chain(3)
+        assert [policy.should_compact(n) for n in range(6)] == [
+            False, False, False, False, True, True,
+        ]
+
+    def test_keep_history_flag_carried(self):
+        assert EpochPolicy.bounded_chain(3, keep_history=True).keep_history
+        assert not EpochPolicy.bounded_chain(3).keep_history
+
+
+class TestValidation:
+    def test_zero_full_interval_rejected(self):
+        with pytest.raises(CheckpointError):
+            EpochPolicy(full_interval=0)
+
+    def test_zero_chain_bound_rejected(self):
+        with pytest.raises(CheckpointError):
+            EpochPolicy(max_delta_chain=0)
+
+    def test_policy_is_immutable(self):
+        policy = EpochPolicy.delta_only()
+        with pytest.raises(AttributeError):
+            policy.full_interval = 2
