@@ -9,12 +9,22 @@ hints), compiles each target so the residual verifier checks the
 specializer's output, and applies pure-AST source rules that catch writes
 bypassing the modification-flag protocol.
 
+Modules can additionally declare whole driver functions in
+``LINT_PROGRAMS``: the linter runs phase inference over each one
+(:func:`repro.spec.effects.infer_phases`), warns where precision was lost
+to escaping calls (``escape-to-unknown``) or commits cannot be attributed
+to a phase (``commit-outside-phase``), diffs declared per-phase patterns
+against the inferred ones (``pattern-redundant`` when inference already
+proves the declaration), and compiles every inferred phase through the
+residual verifier.
+
 See :mod:`repro.lint.cli` for the command line and
-:mod:`repro.lint.targets` for the ``LINT_TARGETS`` declaration format.
+:mod:`repro.lint.targets` for the ``LINT_TARGETS`` / ``LINT_PROGRAMS``
+declaration formats.
 """
 
 from repro.lint.cli import main
 from repro.lint.findings import SEVERITIES, Finding
-from repro.lint.targets import LintTarget
+from repro.lint.targets import LintTarget, ProgramTarget
 
-__all__ = ["main", "Finding", "SEVERITIES", "LintTarget"]
+__all__ = ["main", "Finding", "SEVERITIES", "LintTarget", "ProgramTarget"]

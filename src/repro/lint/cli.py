@@ -54,9 +54,10 @@ from repro.lint.findings import (
     render_json,
 )
 from repro.lint.rules import check_source
-from repro.lint.targets import LintTarget, targets_of
+from repro.lint.targets import LintTarget, ProgramTarget, programs_of, targets_of
 from repro.spec.effects.analysis import analyze_effects
 from repro.spec.effects.soundness import check_pattern
+from repro.spec.effects.wholeprogram import infer_phases
 from repro.spec.specclass import SpecClass, SpecCompiler
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "node_modules"}
@@ -123,12 +124,16 @@ def import_file(file: Path) -> ModuleType:
         return importlib.import_module(dotted)
     # Loose file: deterministic name so the same path imports exactly once
     # per process (duplicate imports would re-register checkpointable
-    # classes under fresh module names).
+    # classes under fresh module names). The file's own directory goes on
+    # sys.path so sibling imports (e.g. a benchmark's conftest) resolve,
+    # as they would under pytest.
     digest = hashlib.sha1(str(file).encode("utf-8")).hexdigest()[:12]
     name = f"_repro_lint_{digest}"
     cached = sys.modules.get(name)
     if cached is not None:
         return cached
+    if str(file.parent) not in sys.path:
+        sys.path.insert(0, str(file.parent))
     spec = importlib.util.spec_from_file_location(name, file)
     if spec is None or spec.loader is None:
         raise ImportError(f"cannot load {file}")
@@ -223,6 +228,19 @@ def check_target(target: LintTarget, filename: str) -> List[Finding]:
                     target=target.name,
                 )
             )
+        if verdict.sound and not verdict.overwide and report.is_exact():
+            findings.append(
+                Finding(
+                    "hint",
+                    "pattern-redundant",
+                    "the declared pattern matches the inferred one exactly "
+                    "and the analysis lost no precision: the declaration "
+                    "can be dropped in favor of static inference",
+                    filename=phase_file or filename,
+                    lineno=phase_line,
+                    target=target.name,
+                )
+            )
         # Compile the minimal *sound* pattern so the residual verifier
         # still runs end to end even when the declaration was unsound.
         pattern = target.pattern if verdict.sound else verdict.widened()
@@ -259,6 +277,227 @@ def check_target(target: LintTarget, filename: str) -> List[Finding]:
                 target=target.name,
             )
         )
+    return findings
+
+
+# -- whole-program checks over declared drivers ------------------------------
+
+
+def _driver_location(
+    target: ProgramTarget,
+) -> Tuple[Optional[str], Optional[int]]:
+    code = getattr(target.driver, "__code__", None)
+    if code is None:
+        return None, None
+    return code.co_filename, code.co_firstlineno
+
+
+def check_program(target: ProgramTarget, filename: str) -> List[Finding]:
+    """Phase inference + per-phase soundness + compile for one driver.
+
+    Emits the whole-program rules:
+
+    ``escape-to-unknown`` (warning)
+        A call inside an inter-commit region escaped the analysis (opaque
+        callee), so the whole reachable subtree was widened: the inferred
+        pattern is still sound but the specialization lost its precision.
+    ``commit-outside-phase`` (warning)
+        A commit that cannot be attributed to a phase — an unlabeled
+        ``session.commit()`` in a driver with several commits, or writes
+        after the final commit that no checkpoint will ever record.
+    ``pattern-redundant`` (hint)
+        A declared per-phase pattern that matches the inferred one
+        exactly: static inference already derives it.
+    """
+    findings: List[Finding] = []
+    driver_file, driver_line = _driver_location(target)
+    try:
+        report = infer_phases(
+            target.shape,
+            target.driver,
+            roots=target.roots,
+            session_params=target.session_params,
+        )
+    except EffectAnalysisError as exc:
+        findings.append(
+            Finding(
+                "error",
+                "analysis-error",
+                str(exc),
+                filename=driver_file or filename,
+                lineno=driver_line,
+                target=target.name,
+            )
+        )
+        return findings
+
+    seen_escapes = set()
+    seen_cautions = set()
+    for phase in report.phases:
+        for site in phase.report.fallbacks:
+            key = (site.filename, site.lineno)
+            if key in seen_escapes:
+                continue
+            seen_escapes.add(key)
+            findings.append(
+                Finding(
+                    "warning",
+                    "escape-to-unknown",
+                    f"call escapes the analysis in phase {phase.name!r}: "
+                    f"{site.reason} — the whole reachable subtree was "
+                    "widened to dynamic, so the inferred specialization "
+                    "loses its precision here",
+                    filename=site.filename,
+                    lineno=site.lineno,
+                    target=target.name,
+                )
+            )
+        for site in phase.report.cautions:
+            key = (site.filename, site.lineno, site.reason)
+            if key in seen_cautions:
+                continue
+            seen_cautions.add(key)
+            findings.append(
+                Finding(
+                    "info",
+                    "analysis-caution",
+                    site.reason,
+                    filename=site.filename,
+                    lineno=site.lineno,
+                    target=target.name,
+                )
+            )
+
+    commit_count = sum(
+        1 for site in report.commit_sites if site.method == "commit"
+    )
+    if commit_count > 1:
+        for site in report.unlabeled_commits():
+            findings.append(
+                Finding(
+                    "warning",
+                    "commit-outside-phase",
+                    "unlabeled session.commit() in a driver with "
+                    f"{commit_count} commits: the epoch cannot be "
+                    "attributed to a phase, so no per-phase specialization "
+                    "applies to it (label it with commit(phase=...))",
+                    filename=site.filename,
+                    lineno=site.lineno,
+                    target=target.name,
+                )
+            )
+    for phase in report.phases:
+        if phase.kind == "epilogue" and phase.report.may_write:
+            positions = sorted(phase.report.may_write, key=repr)
+            findings.append(
+                Finding(
+                    "warning",
+                    "commit-outside-phase",
+                    f"the driver modifies {positions!r} after its final "
+                    "commit: no checkpoint records these writes (commit "
+                    "once more before returning)",
+                    filename=driver_file or filename,
+                    lineno=driver_line,
+                    target=target.name,
+                )
+            )
+
+    bindable = report.bindable()
+    for label, declared in sorted(target.declared.items()):
+        phase = bindable.get(label)
+        if phase is None:
+            findings.append(
+                Finding(
+                    "error",
+                    "unknown-phase",
+                    f"a pattern is declared for phase {label!r} but the "
+                    "driver has no commit(phase=...) site with that label; "
+                    f"inferred phases: {', '.join(sorted(bindable)) or 'none'}",
+                    filename=driver_file or filename,
+                    lineno=driver_line,
+                    target=target.name,
+                )
+            )
+            continue
+        verdict = check_pattern(declared, phase.report)
+        for path, site in verdict.unsound:
+            where = f", first written at {site.location()}" if site else ""
+            findings.append(
+                Finding(
+                    "error",
+                    "unsound-pattern",
+                    f"pattern declared for phase {label!r} marks {path!r} "
+                    f"quiescent but the region may modify it{where}: an "
+                    "unguarded specialization would drop the data from "
+                    "every checkpoint",
+                    filename=(site.filename if site else driver_file)
+                    or filename,
+                    lineno=site.lineno if site else driver_line,
+                    target=target.name,
+                )
+            )
+        for path in verdict.overwide:
+            findings.append(
+                Finding(
+                    "hint",
+                    "overwide-pattern",
+                    f"pattern declared for phase {label!r} marks {path!r} "
+                    "dynamic but the analysis proves the region never "
+                    "writes it",
+                    filename=driver_file or filename,
+                    lineno=driver_line,
+                    target=target.name,
+                )
+            )
+        if verdict.sound and not verdict.overwide and phase.exact:
+            findings.append(
+                Finding(
+                    "hint",
+                    "pattern-redundant",
+                    f"the pattern declared for phase {label!r} matches the "
+                    "inferred one exactly and the analysis lost no "
+                    "precision: bind_program derives it automatically",
+                    filename=driver_file or filename,
+                    lineno=driver_line,
+                    target=target.name,
+                )
+            )
+
+    for label, phase in sorted(bindable.items()):
+        try:
+            compiler = SpecCompiler()
+            compiler.compile(
+                phase.spec(
+                    name="lint_"
+                    + "".join(
+                        c if c.isalnum() or c == "_" else "_"
+                        for c in f"{target.name}_{label}"
+                    )
+                )
+            )
+        except ResidualVerificationError as exc:
+            findings.append(
+                Finding(
+                    "error",
+                    "residual-verification",
+                    str(exc),
+                    filename=driver_file or filename,
+                    lineno=driver_line,
+                    target=target.name,
+                )
+            )
+        except CheckpointError as exc:
+            findings.append(
+                Finding(
+                    "error",
+                    "target-error",
+                    f"cannot compile inferred specialization for phase "
+                    f"{label!r}: {exc}",
+                    filename=driver_file or filename,
+                    lineno=driver_line,
+                    target=target.name,
+                )
+            )
     return findings
 
 
@@ -311,6 +550,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     findings: List[Finding] = []
     target_count = 0
+    program_count = 0
     for file in files:
         filename = str(file)
         try:
@@ -343,6 +583,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         try:
             targets = targets_of(module)
+            programs = programs_of(module)
         except CheckpointError as exc:
             findings.append(
                 Finding(
@@ -353,9 +594,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for target in targets:
             target_count += 1
             findings.extend(check_target(target, filename))
+        for program in programs:
+            program_count += 1
+            findings.extend(check_program(program, filename))
 
     if options.format == "json":
-        print(render_json(findings, len(files), target_count))
+        print(render_json(findings, len(files), target_count, program_count))
     else:
-        print(render_human(findings, len(files), target_count))
+        print(render_human(findings, len(files), target_count, program_count))
     return exit_code(findings, strict=options.strict)

@@ -109,7 +109,12 @@ def count_by_severity(findings: List[Finding]) -> Dict[str, int]:
     return counts
 
 
-def render_human(findings: List[Finding], checked_files: int, targets: int) -> str:
+def render_human(
+    findings: List[Finding],
+    checked_files: int,
+    targets: int,
+    programs: int = 0,
+) -> str:
     lines = [finding.format_human() for finding in sort_findings(findings)]
     counts = count_by_severity(findings)
     summary = ", ".join(
@@ -117,18 +122,25 @@ def render_human(findings: List[Finding], checked_files: int, targets: int) -> s
         for severity in SEVERITIES
         if counts[severity]
     ) or "clean"
-    lines.append(
-        f"repro.lint: {checked_files} file(s), {targets} target(s): {summary}"
-    )
+    checked = f"{checked_files} file(s), {targets} target(s)"
+    if programs:
+        checked += f", {programs} program(s)"
+    lines.append(f"repro.lint: {checked}: {summary}")
     return "\n".join(lines)
 
 
-def render_json(findings: List[Finding], checked_files: int, targets: int) -> str:
+def render_json(
+    findings: List[Finding],
+    checked_files: int,
+    targets: int,
+    programs: int = 0,
+) -> str:
     counts = count_by_severity(findings)
     return json.dumps(
         {
             "files": checked_files,
             "targets": targets,
+            "programs": programs,
             "counts": counts,
             "findings": [f.to_dict() for f in sort_findings(findings)],
         },

@@ -22,16 +22,36 @@ workloads — is checked.
 from __future__ import annotations
 
 import ast
+from pathlib import PurePosixPath
 from typing import List
 
 from repro.lint.findings import Finding
 
-#: path fragments whose files implement the flag protocol itself
-_EXEMPT_FRAGMENTS = ("repro/core/", "repro\\core\\")
+#: directory chains whose files implement the flag protocol itself
+_EXEMPT_PACKAGES = (("repro", "core"),)
 
 
 def is_exempt(filename: str) -> bool:
-    return any(fragment in filename for fragment in _EXEMPT_FRAGMENTS)
+    """Whether ``filename`` lives under an exempt package directory.
+
+    Matching is on normalized path *components*, not raw substrings:
+    ``src/repro/core/info.py`` is exempt, but ``myrepro/core/x.py`` (a
+    different package whose name merely ends the same way) and a file
+    named e.g. ``repro/core.py`` are not. Windows separators are
+    normalized first so the same files are exempt on every platform.
+    """
+    parts = tuple(
+        part
+        for part in PurePosixPath(filename.replace("\\", "/")).parts
+        if part != "."
+    )
+    directories = parts[:-1]  # the last component is the file itself
+    for package in _EXEMPT_PACKAGES:
+        span = len(package)
+        for start in range(len(directories) - span + 1):
+            if directories[start : start + span] == package:
+                return True
+    return False
 
 
 def check_source(filename: str, source: str) -> List[Finding]:

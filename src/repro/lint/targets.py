@@ -23,11 +23,20 @@ A module opts into the semantic checks by exporting a module-level
 For each target the linter runs the static modification-effect analysis
 over the phases, diffs the declared pattern (if any) against it, and
 compiles the specialization so the residual verifier checks the output.
+
+A module can also export ``LINT_PROGRAMS`` — a list of
+:class:`ProgramTarget` — to run *whole-program* phase inference over a
+driver function: the linter discovers its ``session.commit(phase=...)``
+sites, infers one pattern per inter-commit region, reports precision
+losses (``escape-to-unknown``) and unattributable commits
+(``commit-outside-phase``), diffs any declared per-phase patterns against
+the inferred ones, and compiles each inferred phase through the residual
+verifier.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.checkpointable import Checkpointable
 from repro.core.errors import SpecializationError
@@ -89,6 +98,70 @@ class LintTarget:
         return f"LintTarget({self.name!r}, {len(self.phases)} phase(s))"
 
 
+class ProgramTarget:
+    """One driver function to run whole-program phase inference over.
+
+    Parameters
+    ----------
+    name:
+        Label used in findings.
+    shape:
+        The checkpointed structure's :class:`~repro.spec.shape.Shape`.
+        Exactly one of ``shape`` and ``prototype`` must be given.
+    prototype:
+        Convenience: a prototype instance to derive the shape from.
+    driver:
+        The program's driver function: takes the root structure(s) and a
+        :class:`~repro.runtime.session.CheckpointSession`, and commits at
+        its phase boundaries via ``session.commit(phase=...)``.
+    roots:
+        Optional parameter names binding the driver's root argument(s),
+        for drivers whose parameters are not annotated with a root class.
+    session_params:
+        Parameter names carrying the session (default ``("session",)``).
+    declared:
+        Optional mapping of phase label to the programmer-declared
+        :class:`~repro.spec.modpattern.ModificationPattern` for that
+        phase, each built against the same ``shape`` object. The linter
+        diffs every declaration against the inferred pattern.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shape: Optional[Shape] = None,
+        prototype: Optional[Checkpointable] = None,
+        driver: Optional[Callable] = None,
+        roots: Optional[Iterable[str]] = None,
+        session_params: Sequence[str] = ("session",),
+        declared: Optional[Dict[str, ModificationPattern]] = None,
+    ) -> None:
+        if (shape is None) == (prototype is None):
+            raise SpecializationError(
+                f"program target {name!r}: give exactly one of shape= and "
+                "prototype="
+            )
+        if driver is None:
+            raise SpecializationError(
+                f"program target {name!r} declares no driver"
+            )
+        self.name = name
+        self.shape = shape if shape is not None else Shape.of(prototype)
+        self.driver = driver
+        self.roots = list(roots) if roots is not None else None
+        self.session_params = tuple(session_params)
+        self.declared = dict(declared or {})
+        for label, pattern in self.declared.items():
+            if pattern.shape is not self.shape:
+                raise SpecializationError(
+                    f"program target {name!r}: the pattern declared for "
+                    f"phase {label!r} was built for a different shape object"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProgramTarget({self.name!r}, driver={self.driver.__name__!r})"
+
+
 def targets_of(module) -> List[LintTarget]:
     """The validated ``LINT_TARGETS`` declaration of a module."""
     declared = getattr(module, "LINT_TARGETS", None)
@@ -103,3 +176,19 @@ def targets_of(module) -> List[LintTarget]:
             )
         targets.append(entry)
     return targets
+
+
+def programs_of(module) -> List[ProgramTarget]:
+    """The validated ``LINT_PROGRAMS`` declaration of a module."""
+    declared = getattr(module, "LINT_PROGRAMS", None)
+    if declared is None:
+        return []
+    programs: List[ProgramTarget] = []
+    for entry in declared:
+        if not isinstance(entry, ProgramTarget):
+            raise SpecializationError(
+                f"module {module.__name__!r}: LINT_PROGRAMS entries must be "
+                f"ProgramTarget instances, got {entry!r}"
+            )
+        programs.append(entry)
+    return programs

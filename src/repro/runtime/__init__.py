@@ -32,6 +32,7 @@ from repro.runtime.strategy import (
     DEFAULT_STRATEGIES,
     AutoSpecStrategy,
     DriverStrategy,
+    InferredStrategy,
     NullStrategy,
     SpecializedStrategy,
     Strategy,
@@ -51,6 +52,7 @@ __all__ = [
     "NullStrategy",
     "DriverStrategy",
     "SpecializedStrategy",
+    "InferredStrategy",
     "AutoSpecStrategy",
     "StrategyRegistry",
     "DEFAULT_STRATEGIES",

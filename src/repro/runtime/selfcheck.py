@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.core.checkpointable import Checkpointable
 from repro.core.fields import child, scalar
-from repro.lint.targets import LintTarget
+from repro.lint.targets import LintTarget, ProgramTarget
 from repro.spec.modpattern import ModificationPattern
 from repro.spec.shape import Shape
 from repro.spec.specclass import SpecClass
@@ -62,6 +62,27 @@ def probe_spec() -> SpecClass:
     return SpecClass(PROBE_SHAPE, PROBE_PATTERN, name="runtime_probe")
 
 
+def bump_probe_meta(root: ProbeRoot) -> None:
+    """Helper the driver's second phase calls (exercises call resolution)."""
+    root.meta.revision += 1
+
+
+def probe_driver(root: ProbeRoot, session) -> None:
+    """The runtime's reference whole-program driver.
+
+    Phase boundaries are the ``session.commit(phase=...)`` sites; the
+    whole-program analysis (:func:`repro.spec.effects.infer_phases`)
+    segments the driver at them and proves one modification pattern per
+    inter-commit region — the patterns a session binds via
+    :meth:`~repro.runtime.session.CheckpointSession.bind_program`.
+    """
+    session.base(roots=[root])
+    root.counter.count += 1
+    session.commit(phase="count", roots=[root])
+    bump_probe_meta(root)
+    session.commit(phase="meta", roots=[root])
+
+
 LINT_TARGETS = [
     LintTarget(
         "runtime-session-probe",
@@ -69,5 +90,17 @@ LINT_TARGETS = [
         phases=[probe_phase],
         pattern=PROBE_PATTERN,
         roots=["root"],
+    ),
+]
+
+LINT_PROGRAMS = [
+    ProgramTarget(
+        "runtime-session-probe-driver",
+        shape=PROBE_SHAPE,
+        driver=probe_driver,
+        roots=["root"],
+        declared={
+            "count": ModificationPattern.only(PROBE_SHAPE, [("counter",)]),
+        },
     ),
 ]

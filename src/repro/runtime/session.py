@@ -173,6 +173,62 @@ class CheckpointSession:
         self._phase_specs[phase] = strategy
         self._phase_cache.pop(phase, None)
 
+    def bind_inferred(
+        self,
+        phase: str,
+        shape,
+        phase_fns,
+        roots=None,
+        name: Optional[str] = None,
+    ) -> Strategy:
+        """Bind ``phase`` to a statically-inferred specialization.
+
+        The may-modify analysis proves a pattern for ``phase_fns`` over
+        ``shape`` and compiles it unguarded (it is sound by construction);
+        commits tagged ``phase`` then run the specialized routine. Returns
+        the bound :class:`~repro.runtime.strategy.InferredStrategy`.
+        """
+        from repro.runtime.strategy import InferredStrategy
+
+        strategy = InferredStrategy.from_phases(
+            shape, phase_fns, name=name or f"inferred_{phase}", roots=roots
+        )
+        self.bind(phase, strategy)
+        return strategy
+
+    def bind_program(
+        self,
+        shape,
+        driver,
+        roots=None,
+        session_params: Sequence[str] = ("session",),
+    ):
+        """Infer per-phase patterns from a whole driver function and bind them.
+
+        ``driver`` is scanned for ``session.commit(phase=...)`` sites, the
+        inter-commit regions are analyzed, and every labeled phase is bound
+        to an unguarded inferred specialization — the session configures
+        itself from the program text. Returns the
+        :class:`~repro.spec.effects.wholeprogram.WholeProgramReport` (for
+        provenance and diagnostics).
+        """
+        from repro.runtime.strategy import InferredStrategy
+        from repro.spec.effects.wholeprogram import infer_phases
+
+        report = infer_phases(
+            shape, driver, roots=roots, session_params=session_params
+        )
+        bindable = report.bindable()
+        if not bindable:
+            raise CheckpointError(
+                f"no labeled commit site found in {driver.__name__!r}: "
+                "nothing to bind (label commits with "
+                "session.commit(phase=...))"
+            )
+        for label, phase in bindable.items():
+            self.bind(label, InferredStrategy.from_inferred(phase))
+        return report
+
     def bound(self, phase: str) -> bool:
         """Whether ``phase`` has its own strategy override."""
         return phase in self._phase_specs

@@ -38,6 +38,8 @@ from repro.core.checkpointable import Checkpointable
 from repro.core.errors import CheckpointError, PatternViolationError
 from repro.core.streams import DataOutputStream
 from repro.spec.autospec import AutoSpecializer, PatternObserver
+from repro.spec.effects.analysis import EffectReport
+from repro.spec.effects.wholeprogram import InferredPhase
 from repro.spec.modpattern import ModificationPattern
 from repro.spec.shape import Shape
 from repro.spec.specclass import (
@@ -133,6 +135,59 @@ class SpecializedStrategy(Strategy):
         return cls.from_spec(spec, compiler=compiler)
 
 
+class InferredStrategy(SpecializedStrategy):
+    """The ``inferred`` tier: specialization derived by static analysis.
+
+    Where :class:`SpecializedStrategy` compiles a *declared* pattern and
+    :class:`AutoSpecStrategy` observes one at run time, this tier compiles
+    the pattern the whole-program effect analysis *proved*: sound by
+    construction, so the routine runs **unguarded** — exactly the paper's
+    "automatically construct specialization classes" future work, closed
+    statically. Build it from phase functions (:meth:`from_phases`) or
+    from one inter-commit region of a driver (:meth:`from_inferred`, fed
+    by :func:`~repro.spec.effects.wholeprogram.infer_phases` — usually via
+    :meth:`~repro.runtime.session.CheckpointSession.bind_program`).
+    """
+
+    def __init__(
+        self, checkpointer: SpecializedCheckpointer, name: Optional[str] = None
+    ) -> None:
+        super().__init__(
+            checkpointer, name=name or f"inferred:{checkpointer.spec.name}"
+        )
+
+    @property
+    def report(self) -> Optional[EffectReport]:
+        """The effect report the pattern was proven from."""
+        return self.checkpointer.spec.static_report
+
+    @classmethod
+    def from_phases(
+        cls,
+        shape: Shape,
+        phases,
+        name: str = "inferred_ckpt",
+        roots=None,
+        compiler: Optional[SpecCompiler] = None,
+    ) -> "InferredStrategy":
+        """Analyse the phase functions and compile the proven pattern."""
+        spec = SpecClass.from_static_analysis(shape, phases, name=name, roots=roots)
+        compiler = compiler or DEFAULT_COMPILER
+        return cls(compiler.compile(spec))
+
+    @classmethod
+    def from_inferred(
+        cls,
+        phase: InferredPhase,
+        name: Optional[str] = None,
+        compiler: Optional[SpecCompiler] = None,
+    ) -> "InferredStrategy":
+        """Compile one inferred inter-commit phase of a driver."""
+        spec = phase.spec(name=name)
+        compiler = compiler or DEFAULT_COMPILER
+        return cls(compiler.compile(spec))
+
+
 class AutoSpecStrategy(Strategy):
     """Observation-driven specialization (paper section 7), as a strategy.
 
@@ -216,6 +271,41 @@ class StrategyRegistry:
                 "(pass replace=True to override)"
             )
         self._factories[name] = factory
+
+    def register_inferred(
+        self,
+        name: str,
+        shape: Shape,
+        phases,
+        roots=None,
+        replace: bool = False,
+    ) -> None:
+        """Register an ``inferred`` tier derived from ``phases`` by analysis.
+
+        Analysis and compilation run once, lazily, on the first
+        :meth:`create` — so registering a tier that is never selected
+        costs nothing, and repeated creates share one compiled routine
+        (it is stateless between commits).
+        """
+        cell: List[InferredStrategy] = []
+        # the spec name becomes the generated function's name, so it must
+        # be an identifier even when the registry name is not
+        spec_name = "".join(
+            c if c.isalnum() or c == "_" else "_" for c in name
+        )
+        if not spec_name or spec_name[0].isdigit():
+            spec_name = f"inferred_{spec_name}"
+
+        def factory() -> Strategy:
+            if not cell:
+                cell.append(
+                    InferredStrategy.from_phases(
+                        shape, phases, name=spec_name, roots=roots
+                    )
+                )
+            return cell[0]
+
+        self.register(name, factory, replace=replace)
 
     def create(self, name: str) -> Strategy:
         """Instantiate the strategy registered under ``name``."""

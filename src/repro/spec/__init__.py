@@ -20,11 +20,17 @@ is emitted as Python source and compiled (:mod:`repro.spec.codegen`).
 
 from repro.spec.autospec import AutoSpecializer, PatternObserver
 from repro.spec.effects import (
+    CallGraph,
+    CommitSite,
     EffectReport,
+    InferredPhase,
     PatternVerdict,
+    SummaryCache,
+    WholeProgramReport,
     WriteSite,
     analyze_effects,
     check_pattern,
+    infer_phases,
     verify_residual,
 )
 from repro.spec.modpattern import ModificationPattern
@@ -45,4 +51,10 @@ __all__ = [
     "PatternVerdict",
     "check_pattern",
     "verify_residual",
+    "CallGraph",
+    "SummaryCache",
+    "CommitSite",
+    "InferredPhase",
+    "WholeProgramReport",
+    "infer_phases",
 ]

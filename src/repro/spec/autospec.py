@@ -80,6 +80,32 @@ class PatternObserver:
             return None
         return items[edge.index]
 
+    def seed(self, paths, count_as_observation: bool = True) -> int:
+        """Pre-load positions from a static effect analysis.
+
+        A statically inferred may-write set is a sound *over*-approximation,
+        so seeding it lets :class:`AutoSpecStrategy` skip the generic
+        first-commit observation round entirely: the derived pattern
+        already covers everything the phase can touch, and the guarded
+        routine only ever widens if the static facts were built for a
+        different phase. Returns how many new positions were added.
+        """
+        known = set(self.shape.paths())
+        before = len(self._seen_dirty)
+        for path in paths:
+            path = tuple(path)
+            if path not in known:
+                from repro.core.errors import SpecializationError
+
+                raise SpecializationError(
+                    f"cannot seed observer with {path!r}: not a position "
+                    "of the observed shape"
+                )
+            self._seen_dirty.add(path)
+        if count_as_observation:
+            self.observations += 1
+        return len(self._seen_dirty) - before
+
     def seen_dirty(self) -> Set[Path]:
         """Positions observed modified so far."""
         return set(self._seen_dirty)
@@ -109,6 +135,24 @@ class AutoSpecializer:
         self.guards = guards
         self._compiled: Optional[SpecializedCheckpointer] = None
         self.recompilations = 0
+
+    @classmethod
+    def from_static(
+        cls,
+        report,
+        name: str = "auto_spec_checkpoint",
+        guards: bool = True,
+    ) -> "AutoSpecializer":
+        """Warm-start from an :class:`~repro.spec.effects.analysis.EffectReport`.
+
+        The observer is seeded with the report's may-write set, so the
+        first commit already runs the derived (guarded) routine instead
+        of observing generically — the hybrid of paper section 7's static
+        and dynamic proposals.
+        """
+        observer = PatternObserver(report.shape)
+        observer.seed(report.may_write)
+        return cls(report.shape, observer, name=name, guards=guards)
 
     def compiled(self) -> SpecializedCheckpointer:
         """The current specialized checkpointer (compiling on first use)."""

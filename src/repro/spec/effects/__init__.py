@@ -19,13 +19,38 @@ flags at run time); this package implements the *static* one:
 - :mod:`repro.spec.effects.residual` — a verifier over the residual IR the
   specializer emits, asserting well-formedness and the key "no dropped
   subtree" property. It runs on every compiled specialization.
+- :mod:`repro.spec.effects.callgraph` — the whole-program machinery: a
+  code-hash-keyed source cache, the cross-module call graph, and
+  per-function effect summaries memoized by argument signature.
+- :mod:`repro.spec.effects.wholeprogram` — phase inference: discover
+  ``session.commit()`` sites in a driver, segment it into inter-commit
+  regions, and emit one proven :class:`~repro.spec.modpattern.ModificationPattern`
+  per region with a provenance trail.
+- :mod:`repro.spec.effects.crosscheck` — the dynamic counterexample
+  harness: runs real workloads under inferred patterns in checking mode
+  and fails with a minimized write-site repro if a statically-quiescent
+  position is ever dirtied. (Imported lazily — it drives the runtime and
+  the analysis engine, which themselves import this package.)
 
-The CLI front-end for all three lives in :mod:`repro.lint`.
+The CLI front-end lives in :mod:`repro.lint`.
 """
 
 from repro.spec.effects.analysis import EffectReport, WriteSite, analyze_effects
+from repro.spec.effects.callgraph import (
+    SOURCE_CACHE,
+    CallGraph,
+    SummaryCache,
+    code_key,
+    load_function_ast,
+)
 from repro.spec.effects.residual import verify_residual
 from repro.spec.effects.soundness import PatternVerdict, check_pattern
+from repro.spec.effects.wholeprogram import (
+    CommitSite,
+    InferredPhase,
+    WholeProgramReport,
+    infer_phases,
+)
 
 __all__ = [
     "EffectReport",
@@ -34,4 +59,13 @@ __all__ = [
     "PatternVerdict",
     "check_pattern",
     "verify_residual",
+    "CallGraph",
+    "SummaryCache",
+    "SOURCE_CACHE",
+    "code_key",
+    "load_function_ast",
+    "CommitSite",
+    "InferredPhase",
+    "WholeProgramReport",
+    "infer_phases",
 ]

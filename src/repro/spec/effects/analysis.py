@@ -25,25 +25,36 @@ owner. The analysis is flow-insensitive within a function — statements are
 re-interpreted, alias sets only ever grow, until a fixpoint — which soundly
 covers loops such as the linked-list walk ``node = node.next``.
 
-Interprocedural propagation follows the *module-local call graph*: a call
+Interprocedural propagation follows the *cross-module call graph*: a call
 to a name that resolves (through the phase function's globals) to a pure
 Python function with available source is analysed with the abstract
-arguments bound to its parameters. Any call that cannot be resolved, or
-that passes a shape alias to unknown code, triggers the conservative
-fallback: every position in the escaping subtree is assumed modifiable,
-and the report notes the loss of precision.
+arguments bound to its parameters, and methods invoked on checkpointable
+objects are resolved through the receiver's class and analysed the same
+way. Function sources are loaded through the process-wide code-hash-keyed
+:data:`~repro.spec.effects.callgraph.SOURCE_CACHE`, and each (callee,
+argument-signature) pair is summarised once in a
+:class:`~repro.spec.effects.callgraph.SummaryCache` — subsequent calls
+replay the summary's effects instead of re-walking the body. Any call
+that cannot be resolved, or that passes a shape alias to unknown code,
+triggers the conservative fallback: every position in the escaping
+subtree is assumed modifiable, and the report notes the loss of
+precision.
 """
 
 from __future__ import annotations
 
 import ast
 import builtins
-import inspect
-import textwrap
 import types
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.errors import EffectAnalysisError
+from repro.spec.effects.callgraph import (
+    CallGraph,
+    CallSummary,
+    SummaryCache,
+    load_function_ast,
+)
 from repro.spec.modpattern import ModificationPattern
 from repro.spec.shape import Path, Shape, ShapeNode
 
@@ -212,30 +223,65 @@ class EffectReport:
 class _Frame:
     """Per-function analysis context."""
 
-    __slots__ = ("env", "filename", "globals", "localfuncs", "ret", "depth")
+    __slots__ = ("env", "filename", "globals", "localfuncs", "ret", "depth",
+                 "label")
 
-    def __init__(self, env: Dict[str, Abs], filename: str, globs: dict, depth: int) -> None:
+    def __init__(
+        self,
+        env: Dict[str, Abs],
+        filename: str,
+        globs: dict,
+        depth: int,
+        label: str = "<anonymous>",
+    ) -> None:
         self.env = env
         self.filename = filename
         self.globals = globs
         self.localfuncs: Dict[str, ast.FunctionDef] = {}
         self.ret = EMPTY
         self.depth = depth
+        #: dotted display name of the analysed function (call-graph node)
+        self.label = label
 
     def bind(self, name: str, value: Abs) -> None:
         old = self.env.get(name, EMPTY)
         self.env[name] = old.join(value)
 
 
-class EffectAnalyzer:
-    """Analyses phase functions against one shape."""
+def _label_of(fn: Callable) -> str:
+    module = getattr(fn, "__module__", None) or "<unknown>"
+    qualname = getattr(fn, "__qualname__", None) or getattr(
+        fn, "__name__", repr(fn)
+    )
+    return f"{module}.{qualname}"
 
-    def __init__(self, shape: Shape, roots: Optional[Iterable[str]] = None) -> None:
+
+class EffectAnalyzer:
+    """Analyses phase functions against one shape.
+
+    ``summaries`` optionally shares a
+    :class:`~repro.spec.effects.callgraph.SummaryCache` across analyzers
+    (it must be bound to the same shape); ``callgraph`` optionally
+    collects the call edges the run discovers.
+    """
+
+    def __init__(
+        self,
+        shape: Shape,
+        roots: Optional[Iterable[str]] = None,
+        summaries: Optional[SummaryCache] = None,
+        callgraph: Optional[CallGraph] = None,
+    ) -> None:
         self.shape = shape
         self.roots = frozenset(roots or ())
         self.report: EffectReport = EffectReport(shape, [])
-        self._ast_cache: Dict[int, Optional[Tuple[ast.FunctionDef, str, dict]]] = {}
-        self._memo: Dict[Tuple, Abs] = {}
+        if summaries is not None and summaries.shape is not shape:
+            raise EffectAnalysisError(
+                "the summary cache is bound to a different shape: its "
+                "recorded paths would be unsound here"
+            )
+        self.summaries = summaries if summaries is not None else SummaryCache(shape)
+        self.callgraph = callgraph
         self._in_progress: set = set()
 
     # -- entry points ------------------------------------------------------
@@ -257,7 +303,10 @@ class EffectAnalyzer:
             )
         fdef, filename, globs = loaded
         env = self._bind_parameters(fn, fdef)
-        frame = _Frame(env, filename, globs, depth=0)
+        label = _label_of(fn)
+        if self.callgraph is not None:
+            self.callgraph.add_root(label)
+        frame = _Frame(env, filename, globs, depth=0, label=label)
         self._run_body(fdef.body, frame)
 
     # -- source loading ----------------------------------------------------
@@ -265,22 +314,13 @@ class EffectAnalyzer:
     def _function_ast(
         self, fn: Callable
     ) -> Optional[Tuple[ast.FunctionDef, str, dict]]:
-        key = id(fn)
-        if key in self._ast_cache:
-            return self._ast_cache[key]
-        result: Optional[Tuple[ast.FunctionDef, str, dict]] = None
-        if isinstance(fn, types.FunctionType):
-            try:
-                source = textwrap.dedent(inspect.getsource(fn))
-                tree = ast.parse(source)
-                fdef = tree.body[0]
-                if isinstance(fdef, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    ast.increment_lineno(fdef, fn.__code__.co_firstlineno - 1)
-                    result = (fdef, fn.__code__.co_filename, fn.__globals__)
-            except (OSError, TypeError, SyntaxError, IndexError):
-                result = None
-        self._ast_cache[key] = result
-        return result
+        if not isinstance(fn, types.FunctionType):
+            return None
+        loaded = load_function_ast(fn)
+        if loaded is None:
+            return None
+        fdef, filename = loaded
+        return (fdef, filename, fn.__globals__)
 
     def _bind_parameters(self, fn: Callable, fdef: ast.FunctionDef) -> Dict[str, Abs]:
         """Bind the phase's root parameter(s) to the shape root."""
@@ -420,6 +460,21 @@ class EffectAnalyzer:
         for prefix in prefixes:
             for path in self._subtree_paths(prefix):
                 self._effect(path, node, frame, f"escapes to opaque code: {reason}")
+
+    def _edge(
+        self,
+        frame: _Frame,
+        callee: str,
+        node: ast.AST,
+        resolved: bool,
+        reason: str = "",
+    ) -> None:
+        """Record one call edge in the attached call graph (if any)."""
+        if self.callgraph is not None:
+            self.callgraph.record(
+                frame.label, callee, frame.filename,
+                getattr(node, "lineno", 0), resolved, reason,
+            )
 
     def _caution(self, node: ast.AST, frame: _Frame, reason: str) -> None:
         site = self._site(node, frame, reason)
@@ -688,11 +743,14 @@ class EffectAnalyzer:
                 return self._call_ast(
                     frame.localfuncs[name], arg_abs, kw_abs, node, frame,
                     frame.filename, frame.globals, dict(frame.env),
+                    label=f"{frame.label}.<locals>.{name}",
                 )
             target = frame.globals.get(name, _MISSING)
             if target is _MISSING:
                 target = getattr(builtins, name, _MISSING)
             if target is _MISSING:
+                self._edge(frame, name, node, resolved=False,
+                           reason="unresolved name")
                 self._taint_args(arg_abs, kw_abs, node, frame,
                                  f"call to unresolved name {name!r}")
                 return EMPTY
@@ -704,12 +762,16 @@ class EffectAnalyzer:
                 return EMPTY
             if name in _ALIAS_BUILTINS:
                 return _join_all(arg_abs + list(kw_abs.values()))
+            self._edge(frame, name, node, resolved=False,
+                       reason="opaque callable")
             self._taint_args(arg_abs, kw_abs, node, frame,
                              f"call to opaque callable {name!r}")
             return EMPTY
 
         # calling an arbitrary expression (lambda var, function table, ...)
         self._eval(func, frame)
+        self._edge(frame, "<expression>", node, resolved=False,
+                   reason="call through a non-name expression")
         self._taint_args(arg_abs, kw_abs, node, frame,
                          "call through a non-name expression")
         return EMPTY
@@ -757,12 +819,11 @@ class EffectAnalyzer:
             elif method in _PURE_OBJ_METHODS:
                 pass
             else:
-                self._taint(
-                    Abs(objs=base.objs), node, frame,
-                    f"opaque method .{method}() on a checkpointable object",
+                result = result.join(
+                    self._checkpointable_method(
+                        base.objs, method, arg_abs, kw_abs, node, frame
+                    )
                 )
-                self._taint_args(arg_abs, kw_abs, node, frame,
-                                 f"argument of opaque method .{method}()")
 
         if base.infos:
             handled = True
@@ -819,6 +880,58 @@ class EffectAnalyzer:
 
     # -- interprocedural ---------------------------------------------------
 
+    def _checkpointable_method(
+        self,
+        obj_paths: FrozenSet[Path],
+        method: str,
+        arg_abs: List[Abs],
+        kw_abs: Dict[Optional[str], Abs],
+        node: ast.Call,
+        frame: _Frame,
+    ) -> Abs:
+        """Resolve ``receiver.method(...)`` through the receiver's class.
+
+        The receiver may alias positions of several classes; each class's
+        method is analysed separately with ``self`` bound to that class's
+        positions. Methods without source (generated ``record``/``fold``,
+        C-level callables) fall back conservatively: the receiver's whole
+        subtree — and every aliased argument — is widened.
+        """
+        by_cls: Dict[type, set] = {}
+        for path in obj_paths:
+            by_cls.setdefault(self._node(path).cls, set()).add(path)
+        result = EMPTY
+        for cls, paths in sorted(
+            by_cls.items(), key=lambda item: item[0].__name__
+        ):
+            receiver = Abs(objs=frozenset(paths))
+            target = getattr(cls, method, None)
+            loaded = (
+                self._function_ast(target)
+                if isinstance(target, types.FunctionType)
+                else None
+            )
+            if loaded is None:
+                self._edge(frame, f"{cls.__name__}.{method}", node,
+                           resolved=False, reason="opaque method")
+                self._taint(
+                    receiver, node, frame,
+                    f"opaque method .{method}() on a checkpointable object",
+                )
+                self._taint_args(arg_abs, kw_abs, node, frame,
+                                 f"argument of opaque method .{method}()")
+                continue
+            fdef, filename, globs = loaded
+            label = _label_of(target)
+            self._edge(frame, label, node, resolved=True)
+            result = result.join(
+                self._call_ast(
+                    fdef, [receiver] + list(arg_abs), kw_abs, node, frame,
+                    filename, globs, {}, label=label,
+                )
+            )
+        return result
+
     def _call_function(
         self,
         target: types.FunctionType,
@@ -829,12 +942,16 @@ class EffectAnalyzer:
     ) -> Abs:
         loaded = self._function_ast(target)
         if loaded is None:
+            self._edge(frame, _label_of(target), node, resolved=False,
+                       reason="source unavailable")
             self._taint_args(arg_abs, kw_abs, node, frame,
                              f"call to {target.__name__} (source unavailable)")
             return EMPTY
         fdef, filename, globs = loaded
+        label = _label_of(target)
+        self._edge(frame, label, node, resolved=True)
         return self._call_ast(fdef, arg_abs, kw_abs, node, frame,
-                              filename, globs, {})
+                              filename, globs, {}, label=label)
 
     def _call_ast(
         self,
@@ -846,6 +963,7 @@ class EffectAnalyzer:
         filename: str,
         globs: dict,
         closure_env: Dict[str, Abs],
+        label: Optional[str] = None,
     ) -> Abs:
         if frame.depth >= _MAX_CALL_DEPTH:
             self._taint_args(arg_abs, kw_abs, node, frame,
@@ -873,8 +991,12 @@ class EffectAnalyzer:
         for param in params:
             env.setdefault(param, EMPTY)
 
+        # Parameter-polymorphic summary key: the function identity (the
+        # parsed body object itself — held strongly, so it can never be
+        # confused with a later parse) plus the abstract signature of
+        # every non-empty binding.
         key = (
-            id(fdef),
+            fdef,
             tuple(sorted((n, v.signature()) for n, v in env.items()
                          if not v.is_empty())),
         )
@@ -883,17 +1005,63 @@ class EffectAnalyzer:
             self._taint_args(arg_abs, kw_abs, node, frame,
                              f"recursive call to {fdef.name}")
             return EMPTY
-        if key in self._memo:
-            return self._memo[key]
+        summary = self.summaries.get(key)
+        if summary is not None:
+            return self._replay(summary)
 
         self._in_progress.add(key)
+        mark = self._report_mark()
         try:
-            callee = _Frame(env, filename, globs, depth=frame.depth + 1)
+            callee = _Frame(env, filename, globs, depth=frame.depth + 1,
+                            label=label or f"{frame.label}.<locals>.{fdef.name}")
             result = self._run_body(fdef.body, callee)
         finally:
             self._in_progress.discard(key)
-        self._memo[key] = result
+        self.summaries.store(key, self._summarize(result, mark))
         return result
+
+    # -- summary capture/replay --------------------------------------------
+
+    def _report_mark(self) -> Tuple:
+        """Snapshot of the report's extents, taken before a callee runs."""
+        return (
+            {path: len(sites) for path, sites in self.report.sites.items()},
+            len(self.report.fallbacks),
+            len(self.report.cautions),
+        )
+
+    def _summarize(self, ret: Abs, mark: Tuple) -> CallSummary:
+        """Package everything the callee added to the report since ``mark``."""
+        site_counts, n_fallbacks, n_cautions = mark
+        writes = []
+        for path, sites in self.report.sites.items():
+            for site in sites[site_counts.get(path, 0):]:
+                writes.append((path, site))
+        return CallSummary(
+            ret,
+            tuple(writes),
+            tuple(self.report.fallbacks[n_fallbacks:]),
+            tuple(self.report.cautions[n_cautions:]),
+        )
+
+    def _replay(self, summary: CallSummary) -> Abs:
+        """Apply a cached callee summary to the current report."""
+        for path, site in summary.writes:
+            self.report.add(path, site)
+        for site in summary.fallbacks:
+            if not any(
+                f.filename == site.filename and f.lineno == site.lineno
+                for f in self.report.fallbacks
+            ):
+                self.report.fallbacks.append(site)
+        for site in summary.cautions:
+            if not any(
+                c.filename == site.filename and c.lineno == site.lineno
+                and c.reason == site.reason
+                for c in self.report.cautions
+            ):
+                self.report.cautions.append(site)
+        return summary.ret
 
 
 _MISSING = object()
@@ -903,6 +1071,8 @@ def analyze_effects(
     shape: Shape,
     phases: Iterable[Callable],
     roots: Optional[Iterable[str]] = None,
+    summaries: Optional[SummaryCache] = None,
+    callgraph: Optional[CallGraph] = None,
 ) -> EffectReport:
     """Infer the positions of ``shape`` the given phases may modify.
 
@@ -919,6 +1089,13 @@ def analyze_effects(
     roots:
         Optional parameter names to bind to the shape root, for phases
         whose root parameter cannot be recognised by annotation or name.
+    summaries:
+        Optional :class:`~repro.spec.effects.callgraph.SummaryCache` to
+        reuse across analyses of the same shape (effect summaries are
+        replayed instead of re-analysing shared helpers).
+    callgraph:
+        Optional :class:`~repro.spec.effects.callgraph.CallGraph` that
+        collects every discovered call edge, resolved or not.
 
     Returns
     -------
@@ -927,4 +1104,6 @@ def analyze_effects(
         provenance, opaque-call fallback notes, and suspicious-construct
         cautions.
     """
-    return EffectAnalyzer(shape, roots).analyze(phases)
+    return EffectAnalyzer(
+        shape, roots, summaries=summaries, callgraph=callgraph
+    ).analyze(phases)

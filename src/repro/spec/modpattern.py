@@ -167,6 +167,24 @@ class ModificationPattern:
         """The declared set of possibly-modified positions."""
         return self._may_modify
 
+    def skipped_subtrees(self) -> List[Path]:
+        """Roots of the maximal quiescent subtrees specialization elides.
+
+        Each returned path heads a subtree in which no position may be
+        modified: the compiled routine skips its entire traversal (the
+        paper's biggest win). Nested quiescent positions are not listed
+        separately — only the outermost skip points.
+        """
+        skipped: List[Path] = []
+        stack: List[ShapeNode] = [self.shape.root]
+        while stack:
+            node = stack.pop()
+            if not self.subtree_may_be_modified(node):
+                skipped.append(node.path)
+            else:
+                stack.extend(edge.node for edge in node.edges)
+        return sorted(skipped, key=repr)
+
     def quiescent_paths(self) -> List[Path]:
         """Positions declared never modified, in preorder."""
         return [p for p in self.shape.paths() if p not in self._may_modify]

@@ -102,6 +102,24 @@ class SpecClass:
         to the structure root (needed when parameters are not annotated).
         """
         report = analyze_effects(shape, phases, roots=roots)
+        return cls.from_report(report, name=name, declared=declared)
+
+    @classmethod
+    def from_report(
+        cls,
+        report: EffectReport,
+        name: str = "spec_checkpoint",
+        declared: Optional[ModificationPattern] = None,
+    ) -> "SpecClass":
+        """Build an unguarded declaration from a prebuilt effect report.
+
+        This is the compilation seam of whole-program phase inference
+        (:mod:`repro.spec.effects.wholeprogram`): each inter-commit
+        region's report becomes one proven-unguarded specialization. The
+        soundness gate is the same as :meth:`from_static_analysis` —
+        a ``declared`` pattern the report proves unsound raises
+        :class:`~repro.core.errors.UnsoundPatternError`.
+        """
         if declared is not None:
             verdict = check_pattern(declared, report)
             if not verdict.sound:
@@ -117,7 +135,7 @@ class SpecClass:
             pattern = declared
         else:
             pattern = report.pattern()
-        spec = cls(shape, pattern, name=name, guards=False)
+        spec = cls(report.shape, pattern, name=name, guards=False)
         spec.static_report = report
         return spec
 

@@ -96,3 +96,22 @@ class TestTable1Experiment:
             assert float(specialized_row[8]) > 1.0  # simulated JDK speedup
             # Simulated JDK seconds: full > incremental > specialized.
             assert full_row[6] > incremental_row[6] > specialized_row[6]
+
+
+class TestPhaseInference:
+    def test_inferred_tier_matches_incremental_bytes(self):
+        result = experiments.phase_inference(structures=20)
+        assert len(result.rows) == 6  # 2 phases x 3 variants
+        assert all(row[-1] for row in result.rows)  # byte-identical
+
+    def test_inferred_tier_skips_quiescent_subtrees(self):
+        result = experiments.phase_inference(structures=20)
+        inferred = [row for row in result.rows if row[1] == "inferred"]
+        assert len(inferred) == 2
+        assert all(row[4] >= 1 for row in inferred)
+
+    def test_variant_sizes_agree_per_phase(self):
+        result = experiments.phase_inference(structures=20)
+        for phase in ("hot", "tail"):
+            sizes = {row[2] for row in result.rows if row[0] == phase}
+            assert len(sizes) == 1

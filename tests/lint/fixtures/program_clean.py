@@ -1,0 +1,42 @@
+"""Lint fixture: a whole-program target the analysis proves clean.
+
+The driver labels its single commit, the declared pattern matches the
+inferred one exactly, and nothing escapes the analysis — linting this
+file must exit 0, count one program, and emit only a
+``pattern-redundant`` hint (the declaration is provably unnecessary).
+"""
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, scalar
+from repro.lint import ProgramTarget
+from repro.spec import ModificationPattern, Shape
+
+
+class PCLeaf(Checkpointable):
+    value = scalar("int")
+
+
+class PCRoot(Checkpointable):
+    tick = scalar("int")
+    leaf = child(PCLeaf)
+
+
+PROTO = PCRoot(tick=0, leaf=PCLeaf(value=1))
+SHAPE = Shape.of(PROTO)
+
+
+def driver(root: PCRoot, session) -> None:
+    session.base(roots=[root])
+    root.leaf.value += 1
+    session.commit(phase="bump", roots=[root])
+
+
+LINT_PROGRAMS = [
+    ProgramTarget(
+        "clean-driver",
+        shape=SHAPE,
+        driver=driver,
+        roots=["root"],
+        declared={"bump": ModificationPattern.only(SHAPE, [("leaf",)])},
+    ),
+]

@@ -1,0 +1,50 @@
+"""Lint fixture: one driver tripping every whole-program rule.
+
+- ``copy.deepcopy(root.left)`` escapes the analysis → ``escape-to-unknown``
+- an unlabeled ``session.commit()`` among several → ``commit-outside-phase``
+- the pattern declared for ``tail`` misses the ``right`` write →
+  ``unsound-pattern`` (error: linting this file must exit nonzero)
+"""
+
+import copy
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, scalar
+from repro.lint import ProgramTarget
+from repro.spec import ModificationPattern, Shape
+
+
+class PVLeaf(Checkpointable):
+    value = scalar("int")
+
+
+class PVRoot(Checkpointable):
+    counter = scalar("int")
+    left = child(PVLeaf)
+    right = child(PVLeaf)
+
+
+PROTO = PVRoot(counter=0, left=PVLeaf(value=1), right=PVLeaf(value=2))
+SHAPE = Shape.of(PROTO)
+
+
+def driver(root: PVRoot, session) -> None:
+    session.base(roots=[root])
+    copy.deepcopy(root.left)  # escapes: the left subtree is widened
+    session.commit(phase="fuzzy", roots=[root])
+    root.counter += 1
+    session.commit(roots=[root])  # unlabeled: no phase can own this epoch
+    root.right.value += 1
+    session.commit(phase="tail", roots=[root])
+
+
+LINT_PROGRAMS = [
+    ProgramTarget(
+        "violating-driver",
+        shape=SHAPE,
+        driver=driver,
+        roots=["root"],
+        # unsound: the tail region writes ('right',), not ('left',)
+        declared={"tail": ModificationPattern.only(SHAPE, [("left",)])},
+    ),
+]

@@ -1,0 +1,136 @@
+"""Tests for whole-program lint targets (``LINT_PROGRAMS`` / ProgramTarget)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.errors import SpecializationError
+from repro.core.fields import child, scalar
+from repro.lint import ProgramTarget
+from repro.lint.cli import main
+from repro.lint.targets import programs_of
+from repro.spec import ModificationPattern, Shape
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestProgramFixtures:
+    def test_clean_program_exits_zero_with_redundancy_hint(self, capsys):
+        code, out = run_cli([str(FIXTURES / "program_clean.py")], capsys)
+        assert code == 0
+        assert "pattern-redundant" in out
+        assert "1 program(s)" in out
+        assert "error" not in out and "warning" not in out
+
+    def test_violations_trip_every_whole_program_rule(self, capsys):
+        code, out = run_cli(
+            [str(FIXTURES / "program_violations.py")], capsys
+        )
+        assert code == 1
+        assert "unsound-pattern" in out
+        assert "escape-to-unknown" in out
+        assert "commit-outside-phase" in out
+        # the unsound finding points at the violating write's line
+        assert "('right',)" in out
+
+    def test_json_counts_programs_separately(self, capsys):
+        code, out = run_cli([str(FIXTURES), "--format", "json"], capsys)
+        assert code == 1
+        data = json.loads(out)
+        assert data["programs"] == 2
+        assert data["targets"] == 2  # the per-phase fixtures, unchanged
+        codes = {finding["code"] for finding in data["findings"]}
+        assert "escape-to-unknown" in codes
+        assert "commit-outside-phase" in codes
+
+    def test_no_import_skips_program_checks(self, capsys):
+        code, out = run_cli(
+            ["--no-import", str(FIXTURES / "program_violations.py")], capsys
+        )
+        assert code == 0
+        assert "escape-to-unknown" not in out
+
+
+class _PTLeaf(Checkpointable):
+    value = scalar("int")
+
+
+class _PTRoot(Checkpointable):
+    leaf = child(_PTLeaf)
+
+
+def _driver(root, session):
+    session.commit(phase="p", roots=[root])
+
+
+class TestProgramTargetValidation:
+    def _shape(self):
+        return Shape.of(_PTRoot(leaf=_PTLeaf(value=0)))
+
+    def test_exactly_one_of_shape_and_prototype(self):
+        shape = self._shape()
+        with pytest.raises(SpecializationError, match="exactly one"):
+            ProgramTarget("bad", driver=_driver)
+        with pytest.raises(SpecializationError, match="exactly one"):
+            ProgramTarget(
+                "bad",
+                shape=shape,
+                prototype=_PTRoot(leaf=_PTLeaf(value=0)),
+                driver=_driver,
+            )
+
+    def test_driver_is_required(self):
+        with pytest.raises(SpecializationError, match="driver"):
+            ProgramTarget("bad", shape=self._shape())
+
+    def test_declared_pattern_must_share_the_shape_object(self):
+        shape = self._shape()
+        other = self._shape()
+        with pytest.raises(SpecializationError, match="different shape"):
+            ProgramTarget(
+                "bad",
+                shape=shape,
+                driver=_driver,
+                declared={"p": ModificationPattern.all_dynamic(other)},
+            )
+
+    def test_prototype_convenience_derives_the_shape(self):
+        target = ProgramTarget(
+            "ok", prototype=_PTRoot(leaf=_PTLeaf(value=0)), driver=_driver
+        )
+        assert isinstance(target.shape, Shape)
+
+
+class TestProgramsOf:
+    def test_reads_lint_programs(self):
+        class FakeModule:
+            LINT_PROGRAMS = [
+                ProgramTarget(
+                    "ok",
+                    prototype=_PTRoot(leaf=_PTLeaf(value=0)),
+                    driver=_driver,
+                )
+            ]
+
+        targets = programs_of(FakeModule)
+        assert [t.name for t in targets] == ["ok"]
+
+    def test_missing_attribute_means_no_programs(self):
+        class Empty:
+            pass
+
+        assert programs_of(Empty) == []
+
+    def test_wrong_type_is_rejected(self):
+        class Bad:
+            LINT_PROGRAMS = ["not a target"]
+
+        with pytest.raises(SpecializationError):
+            programs_of(Bad)

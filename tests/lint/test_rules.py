@@ -1,0 +1,41 @@
+"""Tests for the source-rule exemption list (path-component matching).
+
+``repro/core`` implements the tracking protocol, so its own flag and
+slot writes are exempt from the bypass rules — but the exemption must
+match *path components*, not substrings: a user package named
+``myrepro/core`` or a file called ``repro_core.py`` is not the framework.
+"""
+
+from repro.lint.rules import is_exempt
+
+
+class TestExemptPaths:
+    def test_framework_package_is_exempt(self):
+        assert is_exempt("src/repro/core/info.py")
+        assert is_exempt("repro/core/checkpoint.py")
+        assert is_exempt("/abs/path/src/repro/core/fields.py")
+
+    def test_leading_dot_segments_are_ignored(self):
+        assert is_exempt("./src/repro/core/info.py")
+
+    def test_windows_separators_are_normalized(self):
+        assert is_exempt("src\\repro\\core\\info.py")
+
+    def test_lookalike_packages_are_not_exempt(self):
+        assert not is_exempt("myrepro/core/info.py")
+        assert not is_exempt("src/repro_core/info.py")
+        assert not is_exempt("repro/coreutils/info.py")
+
+    def test_component_order_matters(self):
+        assert not is_exempt("core/repro/info.py")
+
+    def test_the_components_must_be_adjacent(self):
+        assert not is_exempt("repro/other/core/info.py")
+
+    def test_filename_is_not_a_directory_component(self):
+        # 'core' here is the file, not a package directory
+        assert not is_exempt("repro/core.py")
+
+    def test_other_repro_modules_are_not_exempt(self):
+        assert not is_exempt("src/repro/runtime/session.py")
+        assert not is_exempt("src/repro/lint/rules.py")

@@ -16,7 +16,11 @@ class TestLintOverRuntime:
     def test_runtime_package_is_clean(self, capsys):
         assert main([_runtime_dir(), "--strict"]) == 0
         out = capsys.readouterr().out
-        assert "clean" in out
+        # the reference declarations produce pattern-redundant hints by
+        # design (static inference proves them); errors and warnings would
+        # mean the runtime's own usage is unsound
+        assert "error" not in out
+        assert "warning" not in out
 
     def test_selfcheck_target_is_analyzed(self, capsys):
         assert main([_runtime_dir(), "--format", "json"]) == 0
