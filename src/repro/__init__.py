@@ -59,11 +59,13 @@ from repro.core.info import CheckpointInfo
 from repro.core.restore import apply_incremental, replay, restore_full
 from repro.core.storage import FileStore, MemoryStore
 from repro.core.streams import DataInputStream, DataOutputStream
+from repro.core.retry import RetryPolicy, RetryStats
 from repro.runtime import (
     DEFAULT_STRATEGIES,
     AutoSpecStrategy,
     BufferSink,
     CheckpointSession,
+    CommitReceipt,
     CommitResult,
     DriverStrategy,
     EpochPolicy,
@@ -117,8 +119,11 @@ __all__ = [
     "MemoryStore",
     "FileStore",
     "CheckpointSession",
+    "CommitReceipt",
     "CommitResult",
     "EpochPolicy",
+    "RetryPolicy",
+    "RetryStats",
     "Sink",
     "NullSink",
     "BufferSink",

@@ -10,6 +10,7 @@ wall-clock as an independent, real measurement.
 
 from repro.bench.experiments import (
     ALL_EXPERIMENTS,
+    fault_recovery,
     fig7,
     fig8,
     fig9,
@@ -22,6 +23,7 @@ from repro.bench.reporting import ExperimentResult
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "fault_recovery",
     "table1",
     "table2",
     "fig7",

@@ -30,6 +30,7 @@ from typing import Dict, List, NamedTuple, Optional
 from repro.core.errors import StorageError
 from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
 from repro.core.restore import ObjectTable, apply_incremental, restore_full
+from repro.core.retry import RetryPolicy, RetryStats
 
 FULL = "full"
 INCREMENTAL = "incremental"
@@ -136,7 +137,12 @@ class FileStore(CheckpointStore):
         self.compress = compress
         #: index -> (stat signature, verified Epoch)
         self._verified: Dict[int, tuple] = {}
+        #: next epoch index to assign; None until the first append scans
+        self._next: Optional[int] = None
+        #: orphaned ``*.tmp`` files moved aside by this instance
+        self.quarantined: List[str] = []
         os.makedirs(directory, exist_ok=True)
+        self._quarantine_orphans()
 
     # -- paths --------------------------------------------------------------
 
@@ -146,6 +152,40 @@ class FileStore(CheckpointStore):
     @property
     def manifest_path(self) -> str:
         return os.path.join(self.directory, "manifest.json")
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.directory, "quarantine")
+
+    def _quarantine_orphans(self) -> None:
+        """Move aside ``*.tmp`` leftovers of a crashed append.
+
+        A crash between writing ``epoch-N.ckpt.tmp`` and the atomic
+        ``os.replace`` leaves the temporary behind forever: it is never
+        read (only ``*.ckpt`` files are), but it accumulates and shadows
+        the real durability story. Opening the store quarantines such
+        orphans instead of silently coexisting with them.
+        """
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if not name.endswith(".tmp"):
+                continue
+            source = os.path.join(self.directory, name)
+            target = os.path.join(self.quarantine_dir, name)
+            try:
+                os.makedirs(self.quarantine_dir, exist_ok=True)
+                if os.path.exists(target):
+                    stem = 0
+                    while os.path.exists(f"{target}.{stem}"):
+                        stem += 1
+                    target = f"{target}.{stem}"
+                os.replace(source, target)
+            except OSError:
+                continue  # a locked/vanished orphan is not worth failing for
+            self.quarantined.append(target)
 
     # -- writing --------------------------------------------------------------
 
@@ -171,6 +211,7 @@ class FileStore(CheckpointStore):
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        self._next = index + 1
         # We just wrote and framed this payload: it is verified by
         # construction, so seed the cache with the pre-compression bytes.
         signature = self._stat_signature(path)
@@ -180,8 +221,17 @@ class FileStore(CheckpointStore):
         return index
 
     def _next_index(self) -> int:
-        used = [epoch_index for epoch_index, _ in self._epoch_files()]
-        return (max(used) + 1) if used else 0
+        """The index the next append will use.
+
+        The directory is scanned once; afterwards the counter advances in
+        memory. Compaction only ever *removes* epochs below the newest
+        index, so the cached counter stays correct across it — rescanning
+        the directory on every append made long runs O(n²) in ``listdir``.
+        """
+        if self._next is None:
+            used = [epoch_index for epoch_index, _ in self._epoch_files()]
+            self._next = (max(used) + 1) if used else 0
+        return self._next
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -298,24 +348,50 @@ class BackgroundWriter(CheckpointStore):
     are written in submission order. ``flush`` blocks until everything
     queued so far is durable; ``close`` flushes and stops the thread.
 
-    Failures are **fail-stop**: once a backing write fails, no later epoch
-    is written (an epoch written past a hole could never participate in a
-    recovery line anyway). Epochs already queued at failure time are
-    discarded and *counted*; the error — including that count — is raised,
-    wrapped in :class:`StorageError`, by the next ``flush``, ``close`` or
-    ``epochs`` call, and every subsequent ``append`` raises permanently.
+    Transient backing failures are retried in the writer thread when a
+    :class:`~repro.core.retry.RetryPolicy` is supplied; an epoch is only
+    declared failed once its policy is exhausted, so injected transient
+    faults lose nothing. Remaining failures are **fail-stop**: once a
+    backing write fails for good, no later epoch is written (an epoch
+    written past a hole could never participate in a recovery line
+    anyway). Epochs already queued at failure time are discarded and
+    *counted*; the error — including that count — is raised, wrapped in
+    :class:`StorageError`, by the next ``flush``, ``close`` or ``epochs``
+    call, and every subsequent ``append`` raises permanently.
+
+    If the writer *thread itself* dies (a bug, an interpreter shutdown
+    race — anything outside the guarded backing write), the writer
+    **degrades to synchronous writes** instead of silently dropping the
+    queue: the next ``append``/``flush`` adopts every still-queued epoch,
+    writes it in order on the calling thread, and all subsequent appends
+    go straight to the backing store. Degradations are recorded in
+    :attr:`degradation_events`.
     """
 
     _STOP = object()
 
-    def __init__(self, backing: CheckpointStore, max_queued: int = 64) -> None:
+    def __init__(
+        self,
+        backing: CheckpointStore,
+        max_queued: int = 64,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.backing = backing
+        self._retry = retry
+        #: retry accounting (count + notes), shared with commit receipts
+        self.retry_stats = RetryStats()
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queued)
         self._error: Optional[BaseException] = None
         self._failed = False
         self._cause: Optional[str] = None
         #: epochs queued before the failure that were never written
         self.dropped = 0
+        #: whether the writer fell back to synchronous writes
+        self.degraded = False
+        #: human-readable record of each degradation
+        self.degradation_events: List[str] = []
+        #: epochs written synchronously after degradation
+        self.sync_writes = 0
         self._closed = False
         self._idle = threading.Event()
         self._idle.set()
@@ -325,6 +401,17 @@ class BackgroundWriter(CheckpointStore):
         self._thread.start()
 
     # -- writer thread ---------------------------------------------------
+
+    def _append_backing(self, kind: str, data: bytes):
+        """One backing write, under the retry policy when there is one."""
+        if self._retry is None:
+            return self.backing.append(kind, data)
+        return self._retry.run(
+            lambda: self.backing.append(kind, data),
+            on_retry=lambda attempt, exc, _d: self.retry_stats.note(
+                "append", attempt, exc
+            ),
+        )
 
     def _drain(self) -> None:
         while True:
@@ -337,7 +424,7 @@ class BackgroundWriter(CheckpointStore):
                     continue
                 kind, data = item
                 try:
-                    self.backing.append(kind, data)
+                    self._append_backing(kind, data)
                 except BaseException as exc:  # surfaced on the next call
                     self._error = exc
                     self._cause = str(exc)
@@ -346,6 +433,47 @@ class BackgroundWriter(CheckpointStore):
                 self._queue.task_done()
                 if self._queue.unfinished_tasks == 0:
                     self._idle.set()
+
+    # -- degradation -------------------------------------------------------
+
+    def _writer_died(self) -> bool:
+        return not self._thread.is_alive() and not self._closed
+
+    def _degrade(self) -> None:
+        """Adopt the dead writer thread's queue on the calling thread.
+
+        Every epoch still queued is written synchronously, in submission
+        order, under the same retry/fail-stop rules the thread applied —
+        acknowledged epochs are never dropped just because the thread is
+        gone.
+        """
+        if not self.degraded:
+            self.degraded = True
+            self.degradation_events.append(
+                "writer thread died; degraded to synchronous writes"
+            )
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                if item is self._STOP:
+                    continue
+                if self._failed:
+                    self.dropped += 1
+                    continue
+                kind, data = item
+                try:
+                    self._append_backing(kind, data)
+                except BaseException as exc:
+                    self._error = exc
+                    self._cause = str(exc)
+                    self._failed = True
+            finally:
+                self._queue.task_done()
+        if self._queue.unfinished_tasks == 0:
+            self._idle.set()
 
     def _check(self) -> None:
         if self._error is not None:
@@ -368,7 +496,8 @@ class BackgroundWriter(CheckpointStore):
         The durable epoch index is assigned by the backing store when the
         writer thread gets to it; use :meth:`flush` + ``backing.epochs()``
         when exact indices matter. After a write failure every append
-        raises: the writer is fail-stop.
+        raises: the writer is fail-stop. After the writer *thread* dies,
+        appends degrade to synchronous writes (and return the real index).
         """
         if self._failed:
             self._error = None  # appends report it; no need to re-raise later
@@ -380,14 +509,41 @@ class BackgroundWriter(CheckpointStore):
             raise StorageError("background writer is closed")
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
+        if self._writer_died():
+            self._degrade()
+            self._check()
+            self.sync_writes += 1
+            try:
+                return self._append_backing(kind, bytes(data))
+            except BaseException as exc:
+                self._failed = True
+                self._cause = str(exc)
+                raise StorageError(
+                    f"background checkpoint write failed: {exc}"
+                    + self._dropped_suffix()
+                ) from exc
         self._idle.clear()
         self._queue.put((kind, bytes(data)))
         return self._queue.qsize()
 
+    def _pending(self) -> int:
+        """Epochs accepted by :meth:`append` but not yet durable."""
+        return self._queue.unfinished_tasks
+
     def flush(self, timeout: Optional[float] = None) -> None:
-        """Block until every queued epoch has been written (or surfaced)."""
+        """Block until every queued epoch has been written (or surfaced).
+
+        A timeout raises :class:`StorageError` naming how many epochs are
+        still queued — data that is **not durable** — rather than
+        returning as if the flush had succeeded.
+        """
+        if self._writer_died():
+            self._degrade()
         if not self._idle.wait(timeout):
-            raise StorageError("timed out waiting for checkpoint writer")
+            raise StorageError(
+                "timed out waiting for checkpoint writer: "
+                f"{self._pending()} epoch(s) still queued, not durable"
+            )
         self._check()
 
     def close(self, timeout: Optional[float] = None) -> None:
@@ -395,14 +551,21 @@ class BackgroundWriter(CheckpointStore):
 
         The thread is stopped even when an error is raised; only the
         *first* close/flush after a failure raises, so shutdown paths that
-        already handled the error can close cleanly.
+        already handled the error can close cleanly. Like :meth:`flush`,
+        a timeout raises with the count of still-queued (undurable)
+        epochs.
         """
         if self._closed:
             return
+        if self._writer_died():
+            self._degrade()
         self._closed = True
         try:
             if not self._idle.wait(timeout):
-                raise StorageError("timed out waiting for checkpoint writer")
+                raise StorageError(
+                    "timed out waiting for checkpoint writer: "
+                    f"{self._pending()} epoch(s) still queued, not durable"
+                )
         finally:
             self._queue.put(self._STOP)
             self._thread.join(timeout)
@@ -410,6 +573,8 @@ class BackgroundWriter(CheckpointStore):
 
     def epochs(self) -> List[Epoch]:
         """Durable epochs (pending queued writes are not yet included)."""
+        if self._writer_died():
+            self._degrade()
         self._check()
         return self.backing.epochs()
 

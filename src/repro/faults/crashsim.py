@@ -1,0 +1,441 @@
+"""The crash simulator: prove recovery, don't assume it.
+
+:class:`CrashSim` runs one deterministic session workload twice. The
+*reference* run commits into a clean :class:`~repro.core.storage.FileStore`
+and records, for every epoch-count prefix, a byte fingerprint of the
+recovered object table. Each *scenario* then replays the same workload
+(same structures, same mutation schedule, same object identifiers — the
+id allocator is pinned) against a fault-injected store, "crashes"
+wherever the plan says, repairs the directory with
+:class:`~repro.fsck.manager.RecoveryManager`, recovers from a fresh
+store, and demands:
+
+1. the recovered object table is **byte-identical** to the reference
+   fingerprint at the same durable epoch count (the recovery invariant);
+2. a post-repair ``fsck`` scan reports the directory consistent;
+3. with a retry policy, transient faults lose **zero** epochs.
+
+:func:`build_matrix` generates the seeded scenario matrix (crash points,
+torn-write offsets through the whole header and into the payload, bit
+flips, transient bursts, stalls) across the three write paths: plain
+store, session sink, and background writer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.errors import StorageError
+from repro.core.ids import DEFAULT_ALLOCATOR
+from repro.core.restore import ObjectTable
+from repro.core.retry import RetryPolicy
+from repro.core.storage import BackgroundWriter, FileStore
+from repro.core.streams import DataOutputStream
+from repro.faults.inject import FaultySink, FaultyStore, InjectedCrash
+from repro.faults.plan import (
+    BITFLIP,
+    CRASH_AFTER,
+    CRASH_BEFORE,
+    CRASH_TMP,
+    STALL,
+    TORN,
+    TRANSIENT,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.fsck.manager import RecoveryManager
+from repro.runtime.session import CheckpointSession
+from repro.runtime.sink import StoreSink
+
+#: the three commit paths the matrix must cover
+PATHS = ("store", "sink", "background")
+
+#: size of the epoch frame header, for torn-write offset sweeps
+HEADER_SIZE = 14
+
+
+def table_fingerprint(table: ObjectTable) -> bytes:
+    """A canonical byte image of a recovered object table.
+
+    Objects are re-recorded in identifier order — two tables with the
+    same objects, ids, classes, and field values produce identical
+    bytes, so "byte-identical recovery" is a plain ``==``.
+    """
+    out = DataOutputStream()
+    for object_id in sorted(table.ids()):
+        obj = table[object_id]
+        out.write_int32(object_id)
+        out.write_int32(obj._ckpt_serial)
+        obj.record(out)
+    return out.getvalue()
+
+
+@dataclass
+class Workload:
+    """A deterministic session workload: build roots, mutate, commit.
+
+    ``build`` returns fresh root objects; ``mutate(roots, step)`` applies
+    the step-th deterministic modification. The workload must not depend
+    on wall clock, randomness, or prior runs — determinism is what makes
+    byte-level comparison across runs meaningful.
+    """
+
+    build: Callable[[], Sequence[Checkpointable]]
+    mutate: Callable[[Sequence[Checkpointable], int], None]
+    #: total epochs committed (one base + epochs-1 deltas)
+    epochs: int = 6
+
+    def run(self, make_sink: Callable[[], object]) -> CheckpointSession:
+        roots = self.build()
+        session = CheckpointSession(roots=roots, sink=make_sink())
+        session.base()
+        for step in range(1, self.epochs):
+            self.mutate(roots, step)
+            session.commit()
+        session.flush()
+        return session
+
+
+def default_workload(epochs: int = 6) -> Workload:
+    """Three compound structures, two lists of three elements each."""
+    from repro.synthetic.structures import build_structures, element_at
+
+    def build():
+        return build_structures(3, 2, 3, 1)
+
+    def mutate(roots, step):
+        compound = roots[step % len(roots)]
+        element = element_at(compound, step % 2, step % 3)
+        element.v0 = step * 1000 + 7
+
+    return Workload(build=build, mutate=mutate, epochs=epochs)
+
+
+@dataclass
+class Scenario:
+    """One fault-injection run: a plan on one write path."""
+
+    name: str
+    plan: FaultPlan
+    path: str = "store"
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.path not in PATHS:
+            raise StorageError(f"unknown scenario path {self.path!r}")
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario did and whether recovery held."""
+
+    name: str
+    path: str
+    crashed: bool
+    durable_epochs: int
+    #: recovered table byte-identical to the reference at that epoch count
+    recovered_identical: bool
+    #: fsck reports the repaired directory consistent
+    fsck_consistent: bool
+    #: faults the store actually injected
+    injected: List[str] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.recovered_identical and self.fsck_consistent
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "crashed": self.crashed,
+            "durable_epochs": self.durable_epochs,
+            "recovered_identical": self.recovered_identical,
+            "fsck_consistent": self.fsck_consistent,
+            "injected": list(self.injected),
+            "detail": self.detail,
+            "ok": self.ok,
+        }
+
+
+class CrashSim:
+    """Run a workload under injected faults and verify recovery.
+
+    Parameters
+    ----------
+    root_dir:
+        Working directory; each run gets its own subdirectory.
+    workload:
+        The deterministic workload (default: :func:`default_workload`).
+    retry:
+        Default retry policy for scenarios that don't bring their own.
+    """
+
+    def __init__(
+        self,
+        root_dir: str,
+        workload: Optional[Workload] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.root_dir = root_dir
+        self.workload = workload or default_workload()
+        self.retry = retry or RetryPolicy(
+            max_attempts=4, base_delay=0.0005, max_delay=0.002
+        )
+        os.makedirs(root_dir, exist_ok=True)
+        #: all runs allocate ids from this base, so runs are comparable
+        self._id_base = DEFAULT_ALLOCATOR.last_allocated + 1
+        self._id_high = self._id_base
+        #: fingerprint of the recovered table per durable-epoch count
+        self._reference: Optional[Dict[int, bytes]] = None
+
+    # -- id pinning --------------------------------------------------------
+
+    def _pin_ids(self) -> None:
+        DEFAULT_ALLOCATOR.reset(self._id_base)
+
+    def _release_ids(self) -> None:
+        self._id_high = max(self._id_high, DEFAULT_ALLOCATOR.last_allocated)
+        DEFAULT_ALLOCATOR.advance_past(self._id_high)
+
+    # -- reference run -----------------------------------------------------
+
+    def reference(self) -> Dict[int, bytes]:
+        """Fingerprints of the fault-free run, per durable-epoch count.
+
+        Key ``d`` maps to the fingerprint of the table recovered from
+        the first ``d`` epochs; key ``0`` maps to ``b""`` (nothing
+        durable, nothing recoverable).
+        """
+        if self._reference is not None:
+            return self._reference
+        directory = os.path.join(self.root_dir, "reference")
+        shutil.rmtree(directory, ignore_errors=True)
+        self._pin_ids()
+        try:
+            self.workload.run(lambda: StoreSink(FileStore(directory)))
+        finally:
+            self._release_ids()
+        store = FileStore(directory)
+        epochs = store.epochs()
+        fingerprints: Dict[int, bytes] = {0: b""}
+        for durable in range(1, len(epochs) + 1):
+            prefix = FileStore(
+                os.path.join(self.root_dir, f"reference-prefix-{durable}")
+            )
+            for epoch in epochs[:durable]:
+                prefix.append(epoch.kind, epoch.data)
+            fingerprints[durable] = table_fingerprint(prefix.recover())
+        self._reference = fingerprints
+        return fingerprints
+
+    # -- scenario runs -----------------------------------------------------
+
+    def _make_sink(self, scenario: Scenario, directory: str):
+        retry = scenario.retry or self.retry
+        if scenario.path == "store":
+            return StoreSink(
+                FaultyStore(FileStore(directory), scenario.plan), retry=retry
+            )
+        if scenario.path == "sink":
+            return FaultySink(FileStore(directory), scenario.plan, retry=retry)
+        writer = BackgroundWriter(
+            FaultyStore(FileStore(directory), scenario.plan), retry=retry
+        )
+        return StoreSink(writer)
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        directory = os.path.join(self.root_dir, f"run-{scenario.name}")
+        shutil.rmtree(directory, ignore_errors=True)
+        reference = self.reference()
+        self._pin_ids()
+        crashed = False
+        detail = ""
+        sink_cell: List[object] = []
+
+        def make_sink():
+            sink_cell.append(self._make_sink(scenario, directory))
+            return sink_cell[0]
+
+        try:
+            self.workload.run(make_sink)
+        except (InjectedCrash, StorageError, OSError) as exc:
+            crashed = True
+            detail = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._release_ids()
+            # A dead process cannot close anything, but the *simulator*
+            # must not leak writer threads across hundreds of scenarios.
+            sink = sink_cell[0] if sink_cell else None
+            store = getattr(sink, "store", None)
+            if isinstance(store, BackgroundWriter):
+                try:
+                    store.close(timeout=5.0)
+                except (StorageError, OSError):
+                    pass
+
+        injected: List[str] = []
+        if sink_cell:
+            faulty = getattr(sink_cell[0], "store", None)
+            if isinstance(faulty, BackgroundWriter):
+                faulty = faulty.backing
+            if isinstance(faulty, FaultyStore):
+                injected = list(faulty.injected)
+
+        # -- simulated restart: repair, then recover from a fresh store --
+        RecoveryManager(directory).repair()
+        verify = RecoveryManager(directory).scan()
+        fresh = FileStore(directory)
+        epochs = fresh.epochs()
+        durable = len(epochs)
+        if durable == 0:
+            recovered = b""
+        else:
+            self._pin_ids()
+            try:
+                recovered = table_fingerprint(fresh.recover())
+            finally:
+                self._release_ids()
+        expected = reference.get(durable)
+        identical = expected is not None and recovered == expected
+        if expected is None:
+            detail += f"; no reference for {durable} durable epochs"
+        return ScenarioResult(
+            name=scenario.name,
+            path=scenario.path,
+            crashed=crashed,
+            durable_epochs=durable,
+            recovered_identical=identical,
+            fsck_consistent=verify.consistent,
+            injected=injected,
+            detail=detail,
+        )
+
+    def run_matrix(self, scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
+        return [self.run_scenario(scenario) for scenario in scenarios]
+
+
+def build_matrix(seed: int = 20260806, epochs: int = 6) -> List[Scenario]:
+    """The acceptance matrix: ≥ 50 scenarios across all three paths.
+
+    Systematic coverage first — every crash point on every path, torn
+    writes at every byte through the header and into the payload, bit
+    flips in header and payload, transient bursts against the retry
+    policy, stalls — then seeded random plans on top.
+    """
+    scenarios: List[Scenario] = []
+
+    # Crash points: before / after / mid-append (tmp) at early, middle
+    # and last ops, on every path.
+    for path in PATHS:
+        for kind in (CRASH_BEFORE, CRASH_AFTER, CRASH_TMP):
+            for op in (0, epochs // 2, epochs - 1):
+                scenarios.append(
+                    Scenario(
+                        name=f"{path}-{kind}-op{op}",
+                        plan=FaultPlan.single(FaultSpec(op, kind)),
+                        path=path,
+                    )
+                )
+
+    # Torn writes: every byte boundary through the header, then strides
+    # into the payload (clamped to file size at injection time).
+    for offset in list(range(HEADER_SIZE + 1)) + [20, 40, 80]:
+        scenarios.append(
+            Scenario(
+                name=f"store-torn-b{offset}",
+                plan=FaultPlan.single(
+                    FaultSpec(epochs // 2, TORN, param=offset)
+                ),
+                path="store",
+            )
+        )
+
+    # Silent bit flips: header bits and payload bits, two paths.
+    for bit in (0, 37, 111, 400, 1600):
+        scenarios.append(
+            Scenario(
+                name=f"sink-bitflip-b{bit}",
+                plan=FaultPlan.single(FaultSpec(1, BITFLIP, param=bit)),
+                path="sink",
+            )
+        )
+
+    # Transient bursts the retry policy must absorb, on every path.
+    for path in PATHS:
+        for attempts in (1, 2, 3):
+            scenarios.append(
+                Scenario(
+                    name=f"{path}-transient-x{attempts}",
+                    plan=FaultPlan.single(
+                        FaultSpec(1, TRANSIENT, attempts=attempts)
+                    ),
+                    path=path,
+                )
+            )
+
+    # Stalls (slow disk) on the async path.
+    for op in (0, 2):
+        scenarios.append(
+            Scenario(
+                name=f"background-stall-op{op}",
+                plan=FaultPlan.single(FaultSpec(op, STALL, param=0.002)),
+                path="background",
+            )
+        )
+
+    # Seeded random plans for everything the grid above missed.
+    for extra in range(8):
+        path = PATHS[extra % len(PATHS)]
+        scenarios.append(
+            Scenario(
+                name=f"{path}-seeded-{extra}",
+                plan=FaultPlan.generate(seed + extra, ops=epochs),
+                path=path,
+            )
+        )
+    return scenarios
+
+
+def run(
+    root_dir: str, seed: int = 20260806, epochs: int = 6
+) -> dict:
+    """Run the full matrix; returns a JSON-serializable summary."""
+    sim = CrashSim(root_dir)
+    scenarios = build_matrix(seed=seed, epochs=epochs)
+    results = sim.run_matrix(scenarios)
+    failures = [result for result in results if not result.ok]
+    return {
+        "seed": seed,
+        "epochs": epochs,
+        "total": len(results),
+        "failures": len(failures),
+        "scenarios": [result.to_dict() for result in results],
+    }
+
+
+def summarize(summary: dict) -> str:
+    lines = [
+        f"crashsim: {summary['total']} scenarios, "
+        f"{summary['failures']} failure(s) (seed {summary['seed']})"
+    ]
+    for entry in summary["scenarios"]:
+        if not entry["ok"]:
+            lines.append(
+                f"  FAIL {entry['name']} [{entry['path']}]: "
+                f"durable={entry['durable_epochs']} "
+                f"identical={entry['recovered_identical']} "
+                f"fsck={entry['fsck_consistent']} {entry['detail']}"
+            )
+    return "\n".join(lines)
+
+
+def save_json(summary: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)

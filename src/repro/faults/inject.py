@@ -1,0 +1,199 @@
+"""Fault-injecting wrappers around stores and sinks.
+
+:class:`FaultyStore` wraps any :class:`~repro.core.storage.CheckpointStore`
+and executes a :class:`~repro.faults.plan.FaultPlan` against its
+``append`` stream: transient errors, stalls, torn writes, bit flips, and
+crash points. Faults that manipulate bytes on disk (``torn``,
+``bitflip``, ``crash-tmp``) require a file-backed store underneath.
+
+:class:`FaultySink` is the same engine one layer up: a
+:class:`~repro.runtime.sink.StoreSink` whose store is already wrapped,
+so a whole :class:`~repro.runtime.session.CheckpointSession` commits
+through the fault plan unchanged.
+
+Two exception types carry the injections:
+
+- :class:`TransientFault` — an ``OSError`` subclass, so the default
+  retry classifier treats it as retryable;
+- :class:`InjectedCrash` — a ``BaseException`` subclass: it models the
+  *process dying*, so nothing in the runtime (retry policies, strategy
+  fallback) may catch and absorb it. Only the crash simulator does.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.core.errors import CheckpointError
+from repro.core.retry import RetryPolicy
+from repro.core.storage import CheckpointStore, Epoch, FileStore
+from repro.faults.plan import (
+    BITFLIP,
+    CRASH_AFTER,
+    CRASH_BEFORE,
+    CRASH_TMP,
+    STALL,
+    TORN,
+    TRANSIENT,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.runtime.sink import StoreSink
+
+
+class TransientFault(OSError):
+    """An injected, retryable I/O failure."""
+
+
+class InjectedCrash(BaseException):
+    """The simulated process died at an injected crash point.
+
+    Deliberately **not** an ``Exception``: generic error handling in the
+    runtime must not be able to swallow a crash, exactly as it could not
+    swallow a real ``kill -9``.
+    """
+
+
+def _file_store(store: CheckpointStore) -> FileStore:
+    if not isinstance(store, FileStore):
+        raise CheckpointError(
+            "torn/bitflip/crash-tmp faults need a FileStore backing, got "
+            f"{type(store).__name__}"
+        )
+    return store
+
+
+class FaultyStore(CheckpointStore):
+    """Execute a fault plan against the wrapped store's append stream.
+
+    ``ops`` counts *logical* append operations: a transient fault does
+    not advance the counter until the operation finally succeeds, so a
+    retrying caller re-enters the same fault spec until its ``attempts``
+    are exhausted — exactly how a flaky disk behaves.
+    """
+
+    def __init__(
+        self,
+        backing: CheckpointStore,
+        plan: FaultPlan,
+        sleep=time.sleep,
+    ) -> None:
+        self.backing = backing
+        self.plan = plan
+        self._sleep = sleep
+        #: logical append operations completed or crashed
+        self.ops = 0
+        #: human-readable record of every fault actually injected
+        self.injected: List[str] = []
+        self._transient_fired: Dict[int, int] = {}
+
+    # -- injection ---------------------------------------------------------
+
+    def _inject_transient(self, spec: FaultSpec) -> None:
+        fired = self._transient_fired.get(spec.op, 0)
+        if fired < spec.attempts:
+            self._transient_fired[spec.op] = fired + 1
+            self.injected.append(f"transient #{fired + 1} at op {spec.op}")
+            raise TransientFault(f"injected transient fault at op {spec.op}")
+
+    def _epoch_path(self, index: int) -> str:
+        return _file_store(self.backing)._epoch_path(index)
+
+    def _tear(self, index: int, at_byte: int) -> None:
+        path = self._epoch_path(index)
+        size = os.path.getsize(path)
+        keep = min(int(at_byte), max(size - 1, 0))
+        with open(path, "rb+") as handle:
+            handle.truncate(keep)
+        self.injected.append(f"torn epoch {index} at byte {keep}")
+
+    def _flip(self, index: int, bit: int) -> None:
+        path = self._epoch_path(index)
+        data = bytearray(open(path, "rb").read())
+        if not data:
+            return
+        position = int(bit) % (len(data) * 8)
+        data[position // 8] ^= 1 << (position % 8)
+        with open(path, "wb") as handle:
+            handle.write(data)
+        self.injected.append(f"flipped bit {position} of epoch {index}")
+
+    def _orphan_tmp(self, kind: str, data: bytes) -> None:
+        store = _file_store(self.backing)
+        index = store._next_index()
+        path = store._epoch_path(index) + ".tmp"
+        with open(path, "wb") as handle:
+            handle.write(bytes(data)[: max(1, len(data) // 2)])
+        self.injected.append(f"orphaned {os.path.basename(path)}")
+
+    # -- CheckpointStore interface -----------------------------------------
+
+    def append(self, kind: str, data: bytes) -> int:
+        spec = self.plan.for_op(self.ops)
+        if spec is None:
+            index = self.backing.append(kind, data)
+            self.ops += 1
+            return index
+        if spec.kind == TRANSIENT:
+            self._inject_transient(spec)
+            index = self.backing.append(kind, data)
+            self.ops += 1
+            return index
+        if spec.kind == STALL:
+            self.injected.append(f"stalled {spec.param:.3f}s at op {spec.op}")
+            self._sleep(spec.param)
+            index = self.backing.append(kind, data)
+            self.ops += 1
+            return index
+        if spec.kind == CRASH_BEFORE:
+            self.ops += 1
+            self.injected.append(f"crash before append at op {spec.op}")
+            raise InjectedCrash(f"crash before append at op {spec.op}")
+        if spec.kind == CRASH_TMP:
+            self.ops += 1
+            self._orphan_tmp(kind, data)
+            raise InjectedCrash(f"crash mid-append (tmp left) at op {spec.op}")
+        # The remaining kinds manipulate the file the append produced.
+        index = self.backing.append(kind, data)
+        self.ops += 1
+        if spec.kind == TORN:
+            self._tear(index, int(spec.param))
+            raise InjectedCrash(f"crash mid-write of epoch {index}")
+        if spec.kind == BITFLIP:
+            self._flip(index, int(spec.param))
+            return index  # silent corruption: the caller never knows
+        if spec.kind == CRASH_AFTER:
+            self.injected.append(f"crash after append of epoch {index}")
+            raise InjectedCrash(f"crash after append of epoch {index}")
+        raise AssertionError(f"unhandled fault kind {spec.kind!r}")
+
+    def epochs(self) -> List[Epoch]:
+        return self.backing.epochs()
+
+    def recover(self, registry=None):
+        return self.backing.recover(registry)
+
+
+class FaultySink(StoreSink):
+    """A :class:`StoreSink` whose store runs under a fault plan.
+
+    The convenience wrapper for session-level injection::
+
+        sink = FaultySink(FileStore(path), plan, retry=RetryPolicy())
+        session = CheckpointSession(roots=root, sink=sink)
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        plan: FaultPlan,
+        retry: Optional[RetryPolicy] = None,
+        sleep=time.sleep,
+    ) -> None:
+        super().__init__(FaultyStore(store, plan, sleep=sleep), retry=retry)
+
+    @property
+    def faulty(self) -> FaultyStore:
+        return self.store

@@ -1,0 +1,182 @@
+"""Deterministic, seed-driven fault plans.
+
+A :class:`FaultPlan` is the *entire* randomness of a fault-injection run,
+fixed up front: which append operation misbehaves, how (transient error,
+torn write, bit flip, stall, crash point), and with what parameter. Two
+runs built from the same seed inject byte-identical faults, which is what
+lets :mod:`repro.faults.crashsim` compare a faulty run against a
+fault-free reference and demand *byte-identical* recovered state.
+
+Fault kinds
+-----------
+``transient``
+    The append raises :class:`~repro.faults.inject.TransientFault`
+    (an ``OSError``) ``attempts`` times, then succeeds — the shape a
+    retry policy must absorb.
+``torn``
+    The epoch file is written, then truncated at byte ``param`` and the
+    process "crashes" — the on-disk state a crash mid-``write`` leaves.
+``bitflip``
+    The epoch file is written, then bit ``param`` is flipped in place —
+    silent media corruption the CRC must catch.
+``stall``
+    The append sleeps ``param`` seconds before completing — a slow disk,
+    for exercising flush timeouts.
+``crash-before``
+    The process "crashes" before any byte of the epoch reaches disk.
+``crash-after``
+    The epoch file is fully durable, then the process "crashes" before
+    the manifest rewrite — the gap between ``append`` and manifest.
+``crash-tmp``
+    The process "crashes" after writing ``epoch-N.ckpt.tmp`` but before
+    the atomic rename — the orphaned-temporary state
+    :class:`~repro.core.storage.FileStore` and ``fsck`` must quarantine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import CheckpointError
+
+TRANSIENT = "transient"
+TORN = "torn"
+BITFLIP = "bitflip"
+STALL = "stall"
+CRASH_BEFORE = "crash-before"
+CRASH_AFTER = "crash-after"
+CRASH_TMP = "crash-tmp"
+
+ALL_KINDS = (
+    TRANSIENT,
+    TORN,
+    BITFLIP,
+    STALL,
+    CRASH_BEFORE,
+    CRASH_AFTER,
+    CRASH_TMP,
+)
+#: kinds that end the run (the simulated process dies at this append)
+CRASH_KINDS = (TORN, CRASH_BEFORE, CRASH_AFTER, CRASH_TMP)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: which append, what kind, with which parameter.
+
+    ``op`` counts append operations on the faulty store from 0; ``param``
+    is the kind-specific knob (truncation byte, flipped bit, stall
+    seconds); ``attempts`` is how many times a ``transient`` fault fires
+    before the operation succeeds.
+    """
+
+    op: int
+    kind: str
+    param: float = 0.0
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise CheckpointError(f"unknown fault kind {self.kind!r}")
+        if self.op < 0:
+            raise CheckpointError(f"fault op must be >= 0, got {self.op}")
+        if self.attempts < 1:
+            raise CheckpointError(
+                f"fault attempts must be >= 1, got {self.attempts}"
+            )
+
+    @property
+    def crashes(self) -> bool:
+        return self.kind in CRASH_KINDS
+
+    def describe(self) -> str:
+        if self.kind == TRANSIENT:
+            return f"op {self.op}: transient x{self.attempts}"
+        if self.kind == TORN:
+            return f"op {self.op}: torn write at byte {int(self.param)}"
+        if self.kind == BITFLIP:
+            return f"op {self.op}: bit {int(self.param)} flipped"
+        if self.kind == STALL:
+            return f"op {self.op}: stall {self.param:.3f}s"
+        return f"op {self.op}: {self.kind}"
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec`, at most one per append op."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self._by_op: Dict[int, FaultSpec] = {}
+        for spec in specs:
+            if spec.op in self._by_op:
+                raise CheckpointError(
+                    f"fault plan already has a fault at op {spec.op}"
+                )
+            self._by_op[spec.op] = spec
+
+    def for_op(self, op: int) -> Optional[FaultSpec]:
+        return self._by_op.get(op)
+
+    def specs(self) -> List[FaultSpec]:
+        return [self._by_op[op] for op in sorted(self._by_op)]
+
+    def __len__(self) -> int:
+        return len(self._by_op)
+
+    def __iter__(self):
+        return iter(self.specs())
+
+    def describe(self) -> str:
+        return "; ".join(spec.describe() for spec in self) or "no faults"
+
+    @classmethod
+    def single(cls, spec: FaultSpec) -> "FaultPlan":
+        return cls([spec])
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        ops: int,
+        kinds: Sequence[str] = ALL_KINDS,
+        max_faults: int = 2,
+        frame_bytes: int = 64,
+    ) -> "FaultPlan":
+        """A deterministic plan over ``ops`` appends from ``seed``.
+
+        ``frame_bytes`` bounds torn-write offsets and bit-flip positions
+        (they are clamped to the real file size at injection time).
+        The same ``(seed, ops, kinds, max_faults, frame_bytes)`` always
+        yields the same plan.
+        """
+        rng = random.Random(seed)
+        count = rng.randint(1, max(1, max_faults))
+        chosen_ops = rng.sample(range(ops), min(count, ops))
+        specs = []
+        crashed = False
+        for op in sorted(chosen_ops):
+            if crashed:
+                break  # nothing runs after the crash point
+            kind = rng.choice(list(kinds))
+            if kind == TRANSIENT:
+                specs.append(
+                    FaultSpec(op, TRANSIENT, attempts=rng.randint(1, 2))
+                )
+            elif kind == TORN:
+                specs.append(
+                    FaultSpec(op, TORN, param=rng.randrange(frame_bytes))
+                )
+                crashed = True
+            elif kind == BITFLIP:
+                specs.append(
+                    FaultSpec(op, BITFLIP, param=rng.randrange(frame_bytes * 8))
+                )
+            elif kind == STALL:
+                specs.append(
+                    FaultSpec(op, STALL, param=rng.uniform(0.001, 0.005))
+                )
+            else:
+                specs.append(FaultSpec(op, kind))
+                crashed = True
+        return cls(specs)

@@ -1,0 +1,31 @@
+"""Crash-consistent checking and repair of checkpoint directories.
+
+- :class:`~repro.fsck.manager.RecoveryManager` — classify every file in
+  a :class:`~repro.core.storage.FileStore` directory, compute the last
+  consistent epoch prefix, quarantine damage;
+- ``python -m repro.fsck`` — the CLI over it (human or JSON reports).
+"""
+
+from repro.fsck.manager import (
+    CORRUPT,
+    FOREIGN,
+    INTACT,
+    ORPHAN_TMP,
+    TORN,
+    UNREACHABLE,
+    FileReport,
+    FsckReport,
+    RecoveryManager,
+)
+
+__all__ = [
+    "RecoveryManager",
+    "FsckReport",
+    "FileReport",
+    "INTACT",
+    "TORN",
+    "CORRUPT",
+    "ORPHAN_TMP",
+    "UNREACHABLE",
+    "FOREIGN",
+]

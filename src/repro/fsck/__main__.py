@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.fsck``."""
+
+import sys
+
+from repro.fsck.cli import main
+
+sys.exit(main())

@@ -1,0 +1,79 @@
+"""``python -m repro.fsck``: scan/repair a checkpoint directory.
+
+Examples::
+
+    python -m repro.fsck ckpts/                 # human-readable scan
+    python -m repro.fsck ckpts/ --json          # machine-readable scan
+    python -m repro.fsck ckpts/ --repair        # quarantine damage, exit 0
+    python -m repro.fsck ckpts/ --quarantine q/ # custom quarantine dir
+
+Exit codes: ``0`` — directory is consistent (or was repaired into
+consistency); ``1`` — inconsistencies found and not repaired (or repair
+left the store unrecoverable); ``2`` — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import StorageError
+from repro.fsck.manager import RecoveryManager
+
+
+def _human(report, out) -> None:
+    print(report.summary(), file=out)
+    for entry in report.files:
+        line = f"  {entry.name}: {entry.status}"
+        if entry.kind:
+            line += f" [{entry.kind}]"
+        if entry.detail:
+            line += f" — {entry.detail}"
+        if entry.action != "kept":
+            line += f" -> {entry.action}"
+        print(line, file=out)
+    for action in report.actions:
+        print(f"  * {action}", file=out)
+
+
+def main(argv=None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fsck",
+        description="Check (and repair) a FileStore checkpoint directory.",
+    )
+    parser.add_argument("directory", help="checkpoint directory to check")
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine damaged/stranded files so the store is consistent",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="DIR",
+        help="where quarantined files go (default: DIRECTORY/quarantine)",
+    )
+    args = parser.parse_args(argv)
+
+    manager = RecoveryManager(args.directory, quarantine_dir=args.quarantine)
+    try:
+        report = manager.repair() if args.repair else manager.scan()
+    except StorageError as exc:
+        print(f"fsck: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(report.to_json(), file=out)
+    else:
+        _human(report, out)
+
+    if report.consistent:
+        return 0
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""Crash-consistent recovery of a checkpoint directory.
+
+After a crash a :class:`~repro.core.storage.FileStore` directory can
+hold, besides intact epochs: a torn final epoch (the crash interrupted
+the write), silently corrupt epochs (media bit rot the CRC catches),
+orphaned ``*.tmp`` files (crash between temp write and atomic rename),
+and — after partial cleanup — *holes* in the index sequence that strand
+later epochs outside any recovery line.
+
+:class:`RecoveryManager` turns that mess back into a store the runtime
+can trust:
+
+1. **scan** — classify every file (``intact`` / ``torn`` / ``corrupt`` /
+   ``orphan-tmp`` / ``unreachable`` / ``foreign``) and compute the last
+   consistent epoch prefix (contiguous intact epochs from the lowest
+   index, stopping at the first damaged file or index hole);
+2. **repair** — quarantine everything outside that prefix into
+   ``quarantine/`` and re-verify, leaving a directory whose every
+   remaining epoch participates in a valid recovery line.
+
+The recovery invariant, checked by the fault-injection suite: after
+``repair()``, ``FileStore(directory).recover()`` yields exactly the
+state of the last durable epoch of the fault-free execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import StorageError
+from repro.core.storage import (
+    _COMPRESSED_NAMES,
+    _HEADER,
+    _KIND_NAMES,
+    _MAGIC,
+    _VERSION,
+    FULL,
+)
+
+INTACT = "intact"
+TORN = "torn"
+CORRUPT = "corrupt"
+ORPHAN_TMP = "orphan-tmp"
+UNREACHABLE = "unreachable"
+FOREIGN = "foreign"
+MANIFEST = "manifest"
+
+
+@dataclass
+class FileReport:
+    """Classification of one file in the checkpoint directory."""
+
+    name: str
+    status: str
+    #: epoch index for epoch files, None otherwise
+    index: Optional[int] = None
+    #: epoch kind when the frame was readable
+    kind: Optional[str] = None
+    #: why the file got its status
+    detail: str = ""
+    #: what repair did with it ("kept", "quarantined")
+    action: str = "kept"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "index": self.index,
+            "kind": self.kind,
+            "detail": self.detail,
+            "action": self.action,
+        }
+
+
+@dataclass
+class FsckReport:
+    """The outcome of one scan or repair pass."""
+
+    directory: str
+    files: List[FileReport] = field(default_factory=list)
+    #: intact, contiguous, line-forming epoch indices (the durable prefix)
+    durable_epochs: List[int] = field(default_factory=list)
+    #: whether every non-quarantined file participates in that prefix
+    consistent: bool = False
+    #: whether the durable prefix contains a full checkpoint (recovery base)
+    recoverable: bool = False
+    #: whether the manifest is present and well-formed
+    manifest_ok: bool = False
+    #: True when this report describes a repair pass
+    repaired: bool = False
+    #: human-readable notes of what scan/repair did
+    actions: List[str] = field(default_factory=list)
+
+    def by_status(self, status: str) -> List[FileReport]:
+        return [entry for entry in self.files if entry.status == status]
+
+    def to_dict(self) -> dict:
+        return {
+            "directory": self.directory,
+            "consistent": self.consistent,
+            "recoverable": self.recoverable,
+            "manifest_ok": self.manifest_ok,
+            "repaired": self.repaired,
+            "durable_epochs": list(self.durable_epochs),
+            "files": [entry.to_dict() for entry in self.files],
+            "actions": list(self.actions),
+            "counts": {
+                status: len(self.by_status(status))
+                for status in (
+                    INTACT,
+                    TORN,
+                    CORRUPT,
+                    ORPHAN_TMP,
+                    UNREACHABLE,
+                    FOREIGN,
+                )
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        counts = self.to_dict()["counts"]
+        parts = [f"{n} {status}" for status, n in counts.items() if n]
+        state = "consistent" if self.consistent else "INCONSISTENT"
+        base = "recoverable" if self.recoverable else "no recovery base"
+        return (
+            f"{self.directory}: {state}, {base}, "
+            f"{len(self.durable_epochs)} durable epoch(s)"
+            + (f" ({', '.join(parts)})" if parts else "")
+        )
+
+
+def _classify_epoch_file(path: str) -> tuple:
+    """``(status, kind, detail)`` of one ``epoch-*.ckpt`` file."""
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        return TORN, None, f"unreadable: {exc}"
+    if len(raw) < _HEADER.size:
+        return TORN, None, f"only {len(raw)} of {_HEADER.size} header bytes"
+    magic, version, kind_code, length, crc = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        return CORRUPT, None, f"bad magic {magic!r}"
+    if version != _VERSION:
+        return CORRUPT, None, f"unknown format version {version}"
+    known = kind_code in _KIND_NAMES or kind_code in _COMPRESSED_NAMES
+    if not known:
+        return CORRUPT, None, f"unknown kind code {kind_code}"
+    kind = _KIND_NAMES.get(kind_code) or _COMPRESSED_NAMES[kind_code]
+    payload = raw[_HEADER.size : _HEADER.size + length]
+    if len(payload) < length:
+        return TORN, kind, f"payload {len(payload)} of {length} bytes"
+    if zlib.crc32(payload) != crc:
+        return CORRUPT, kind, "CRC mismatch"
+    if kind_code in _COMPRESSED_NAMES:
+        try:
+            zlib.decompress(payload)
+        except zlib.error:
+            return CORRUPT, kind, "CRC intact but deflate stream invalid"
+    if len(raw) > _HEADER.size + length:
+        # Trailing garbage past the frame: the frame itself is usable.
+        return INTACT, kind, f"{len(raw) - _HEADER.size - length} trailing bytes"
+    return INTACT, kind, ""
+
+
+class RecoveryManager:
+    """Scan and repair one checkpoint directory (see module docstring)."""
+
+    def __init__(
+        self, directory: str, quarantine_dir: Optional[str] = None
+    ) -> None:
+        self.directory = directory
+        self.quarantine_dir = quarantine_dir or os.path.join(
+            directory, "quarantine"
+        )
+
+    # -- scanning ----------------------------------------------------------
+
+    def scan(self) -> FsckReport:
+        """Classify every file; compute the durable prefix. Read-only."""
+        report = FsckReport(directory=self.directory)
+        if not os.path.isdir(self.directory):
+            raise StorageError(
+                f"{self.directory!r} is not a checkpoint directory"
+            )
+        entries: List[FileReport] = []
+        for name in sorted(os.listdir(self.directory)):
+            path = os.path.join(self.directory, name)
+            if os.path.isdir(path):
+                continue  # quarantine/ and other directories
+            entries.append(self._classify(name, path))
+        report.files = entries
+        self._resolve_sequence(report)
+        self._check_manifest(report)
+        report.consistent = not [
+            entry
+            for entry in entries
+            if entry.status in (TORN, CORRUPT, ORPHAN_TMP, UNREACHABLE)
+        ]
+        return report
+
+    def _classify(self, name: str, path: str) -> FileReport:
+        if name.endswith(".tmp"):
+            return FileReport(
+                name,
+                ORPHAN_TMP,
+                detail="temporary left by an interrupted write",
+            )
+        if name == "manifest.json":
+            return FileReport(name, MANIFEST)
+        if name.startswith("epoch-") and name.endswith(".ckpt"):
+            try:
+                index = int(name[len("epoch-") : -len(".ckpt")])
+            except ValueError:
+                return FileReport(
+                    name, FOREIGN, detail="epoch-like name, unparsable index"
+                )
+            status, kind, detail = _classify_epoch_file(path)
+            return FileReport(name, status, index=index, kind=kind, detail=detail)
+        return FileReport(name, FOREIGN, detail="not a store file")
+
+    def _resolve_sequence(self, report: FsckReport) -> None:
+        """The durable prefix: contiguous intact epochs from the lowest index.
+
+        The first torn/corrupt epoch — or the first hole in the index
+        sequence — ends the prefix; every *intact* epoch past that point
+        can never join a recovery line (deltas cannot apply across a
+        hole) and is reclassified ``unreachable``.
+        """
+        epoch_entries = sorted(
+            (entry for entry in report.files if entry.index is not None),
+            key=lambda entry: entry.index,
+        )
+        durable: List[int] = []
+        broken = False
+        expected = epoch_entries[0].index if epoch_entries else 0
+        for entry in epoch_entries:
+            if broken:
+                if entry.status == INTACT:
+                    entry.status = UNREACHABLE
+                    entry.detail = "intact but stranded past a hole"
+                continue
+            if entry.index != expected:
+                broken = True  # an index hole strands everything after it
+                if entry.status == INTACT:
+                    entry.status = UNREACHABLE
+                    entry.detail = (
+                        f"index gap: expected epoch {expected}, "
+                        f"found {entry.index}"
+                    )
+                continue
+            if entry.status != INTACT:
+                broken = True
+                continue
+            durable.append(entry.index)
+            expected = entry.index + 1
+        report.durable_epochs = durable
+        kinds = {
+            entry.index: entry.kind
+            for entry in epoch_entries
+            if entry.index in durable
+        }
+        report.recoverable = any(kinds[index] == FULL for index in durable)
+
+    def _check_manifest(self, report: FsckReport) -> None:
+        path = os.path.join(self.directory, "manifest.json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            report.manifest_ok = isinstance(manifest.get("classes"), dict)
+        except (OSError, json.JSONDecodeError):
+            report.manifest_ok = False
+        if not report.manifest_ok:
+            report.actions.append("manifest missing or malformed")
+
+    # -- repairing ---------------------------------------------------------
+
+    def repair(self) -> FsckReport:
+        """Quarantine everything outside the durable prefix; re-verify.
+
+        Truncates the epoch *sequence*, never a file's bytes: damaged and
+        stranded epochs are moved (with their evidence intact) into the
+        quarantine directory, so forensics stay possible while the store
+        itself becomes consistent. Returns the post-repair report.
+        """
+        report = self.scan()
+        moved = 0
+        for entry in report.files:
+            if entry.status in (TORN, CORRUPT, ORPHAN_TMP, UNREACHABLE):
+                if self._quarantine(entry.name):
+                    entry.action = "quarantined"
+                    moved += 1
+        if moved:
+            report.actions.append(f"quarantined {moved} file(s)")
+        verify = self.scan()
+        report.durable_epochs = verify.durable_epochs
+        report.recoverable = verify.recoverable
+        report.consistent = verify.consistent
+        report.manifest_ok = verify.manifest_ok
+        report.repaired = True
+        return report
+
+    def _quarantine(self, name: str) -> bool:
+        source = os.path.join(self.directory, name)
+        target = os.path.join(self.quarantine_dir, name)
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            if os.path.exists(target):
+                suffix = 0
+                while os.path.exists(f"{target}.{suffix}"):
+                    suffix += 1
+                target = f"{target}.{suffix}"
+            os.replace(source, target)
+        except OSError:
+            return False
+        return True

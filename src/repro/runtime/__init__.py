@@ -19,8 +19,13 @@ drivers, specialized routines, and stores by hand.
   durable stores, asynchronous writers, all behind one ``put()``.
 """
 
+from repro.core.retry import RetryPolicy, RetryStats
 from repro.runtime.policy import EpochPolicy
-from repro.runtime.session import CheckpointSession, CommitResult
+from repro.runtime.session import (
+    CheckpointSession,
+    CommitReceipt,
+    CommitResult,
+)
 from repro.runtime.sink import (
     BufferSink,
     NullSink,
@@ -41,8 +46,11 @@ from repro.runtime.strategy import (
 
 __all__ = [
     "CheckpointSession",
+    "CommitReceipt",
     "CommitResult",
     "EpochPolicy",
+    "RetryPolicy",
+    "RetryStats",
     "Sink",
     "NullSink",
     "BufferSink",

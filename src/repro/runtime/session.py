@@ -33,14 +33,15 @@ equivalence test suite pins this for every strategy tier.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.core.checkpoint import FullCheckpoint
+from repro.core.checkpoint import CheckingCheckpoint, FullCheckpoint
 from repro.core.checkpointable import Checkpointable
 from repro.core.errors import CheckpointError, StorageError
 from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
 from repro.core.restore import ObjectTable
+from repro.core.retry import RetryPolicy
 from repro.core.storage import FULL, INCREMENTAL, _KIND_CODES
 from repro.core.streams import DataOutputStream
 from repro.runtime.policy import EpochPolicy
@@ -48,12 +49,15 @@ from repro.runtime.sink import Sink, sink_for
 from repro.runtime.strategy import (
     DEFAULT_STRATEGIES,
     DriverStrategy,
+    NullStrategy,
     Strategy,
     StrategyRegistry,
 )
 
 #: one shared instance; the full driver is stateless between commits
 _FULL_DRIVER = DriverStrategy("full", FullCheckpoint)
+#: the degradation target: generic, checked, assumes nothing proved
+_CHECKED_DRIVER = DriverStrategy("checking", CheckingCheckpoint)
 
 RootsLike = Union[
     Checkpointable,
@@ -85,6 +89,28 @@ def _roots_provider(roots: RootsLike) -> Callable[[], Sequence[Checkpointable]]:
 
 
 @dataclass
+class CommitReceipt:
+    """The durability story of one commit.
+
+    Produced for every persisted commit: what the sink did with the
+    epoch, how many transient failures were retried on the way, and any
+    degradation the runtime performed to keep the delta chain sound
+    (strategy fallback, escalation of the next epoch to a full).
+    """
+
+    #: ``"durable"`` / ``"queued"`` / ``"buffered"`` / ``"discarded"``
+    durability: str = "unknown"
+    #: transient failures retried while persisting this epoch
+    retries: int = 0
+    #: the strategy raised and the generic checked driver took over
+    degraded: bool = False
+    #: this epoch was escalated to a full checkpoint to repair the chain
+    escalated: bool = False
+    #: human-readable record of every degradation/escalation/retry event
+    events: List[str] = field(default_factory=list)
+
+
+@dataclass
 class CommitResult:
     """What one commit produced (and how long the strategy took)."""
 
@@ -97,6 +123,8 @@ class CommitResult:
     epoch_index: Optional[int] = None
     #: whether this commit triggered an automatic compaction
     compacted: bool = False
+    #: durability state, retries, and degradation events of this commit
+    receipt: Optional[CommitReceipt] = None
 
     @property
     def size(self) -> int:
@@ -124,6 +152,10 @@ class CheckpointSession:
     sink:
         Where epochs go — anything :func:`~repro.runtime.sink.sink_for`
         accepts: ``None``, a store, a directory path, or a sink.
+    retry:
+        Optional :class:`~repro.core.retry.RetryPolicy` attached to the
+        sink this session builds: transient persistence failures are
+        retried on the commit path and counted in the commit's receipt.
     class_registry:
         The :class:`~repro.core.registry.ClassRegistry` used for recovery
         and compaction (default: the process-wide registry).
@@ -137,17 +169,20 @@ class CheckpointSession:
         registry: Optional[StrategyRegistry] = None,
         policy: Optional[EpochPolicy] = None,
         sink=None,
+        retry: Optional[RetryPolicy] = None,
         class_registry: Optional[ClassRegistry] = None,
     ) -> None:
         self.registry = registry or DEFAULT_STRATEGIES
         self.policy = policy or EpochPolicy.delta_only()
-        self.sink: Sink = sink_for(sink)
+        self.sink: Sink = sink_for(sink, retry=retry)
         self.class_registry = class_registry or DEFAULT_REGISTRY
         self._roots = _roots_provider(roots)
         self._default = self.registry.resolve(strategy)
         self._phase_specs: Dict[str, object] = {}
         self._phase_cache: Dict[str, Strategy] = {}
         self._closed = False
+        #: the next policy-decided epoch must be a full (chain repair)
+        self._escalate_full = False
 
         #: epochs committed through this session (base() included)
         self.commits = 0
@@ -157,6 +192,8 @@ class CheckpointSession:
         self.deltas_since_full = 0
         #: automatic + explicit compactions performed
         self.compactions = 0
+        #: strategy fallbacks performed (specialized commit raised)
+        self.degradations = 0
         #: every commit's :class:`CommitResult`, in order
         self.history: List[CommitResult] = []
 
@@ -285,15 +322,28 @@ class CheckpointSession:
         explicit ``kind`` only labels the epoch — the strategy still
         produces the bytes, which is how a full-tier strategy commits
         full-content epochs under a delta label or vice versa.
+
+        After a specialized commit fell back to the generic driver (see
+        :class:`CommitReceipt`), the next policy-decided commit is
+        escalated to a full checkpoint regardless of cadence, so the
+        delta chain regains a sound base.
         """
         strategy = self.strategy_for(phase)
+        escalated = False
         if kind is None:
-            kind = self.policy.kind_for(self.commits, self.deltas_since_full)
-            if kind == FULL:
-                strategy = _FULL_DRIVER
+            if self._escalate_full:
+                kind, strategy, escalated = FULL, _FULL_DRIVER, True
+            else:
+                kind = self.policy.kind_for(
+                    self.commits, self.deltas_since_full
+                )
+                if kind == FULL:
+                    strategy = _FULL_DRIVER
         elif kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
-        return self._commit(strategy, kind, phase=phase, roots=roots)
+        return self._commit(
+            strategy, kind, phase=phase, roots=roots, escalated=escalated
+        )
 
     def measure(
         self,
@@ -341,9 +391,21 @@ class CheckpointSession:
             wall_seconds=wall_seconds,
             strategy="bytes",
             phase=phase,
+            receipt=CommitReceipt(),
         )
         self._persist(result)
         return result
+
+    @staticmethod
+    def _can_fall_back(strategy: Strategy) -> bool:
+        """Whether a failing ``strategy`` has a sound generic fallback.
+
+        Specialized / inferred / auto-derived routines do: they are
+        optimizations over the generic driver, so the checked driver can
+        reproduce their work. The generic tiers themselves do not — a
+        failure there is a real bug (or a real cycle) that must surface.
+        """
+        return not isinstance(strategy, (DriverStrategy, NullStrategy))
 
     def _commit(
         self,
@@ -351,25 +413,66 @@ class CheckpointSession:
         kind: str,
         phase: Optional[str],
         roots: Optional[RootsLike],
+        escalated: bool = False,
     ) -> CommitResult:
         self._ensure_open()
+        receipt = CommitReceipt(escalated=escalated)
+        if escalated:
+            receipt.events.append(
+                "escalated to full checkpoint after a degraded commit"
+            )
         out = DataOutputStream()
         use = self._resolve_roots(roots)
         start = time.perf_counter()
-        strategy.write(use, out)
+        try:
+            strategy.write(use, out)
+        except Exception as exc:
+            if not self._can_fall_back(strategy):
+                raise
+            # A specialized routine died mid-commit. Its partial run may
+            # already have recorded-and-cleared some modification flags,
+            # so this delta can under-report; re-record what is still
+            # flagged with the generic checked driver on a fresh stream,
+            # and escalate the next epoch to a full checkpoint so the
+            # chain regains a base that assumes nothing.
+            receipt.degraded = True
+            receipt.events.append(
+                f"strategy {strategy.name!r} raised "
+                f"{type(exc).__name__}: {exc}; fell back to the generic "
+                "checked driver"
+            )
+            self.degradations += 1
+            self._escalate_full = True
+            out = DataOutputStream()
+            _CHECKED_DRIVER.write(use, out)
+            strategy = _CHECKED_DRIVER
         wall = time.perf_counter() - start
+        if kind == FULL and strategy is _FULL_DRIVER:
+            # A true full epoch repairs the chain: nothing to escalate.
+            self._escalate_full = False
         result = CommitResult(
             kind=kind,
             data=out.getvalue(),
             wall_seconds=wall,
             strategy=strategy.name,
             phase=phase,
+            receipt=receipt,
         )
         self._persist(result)
         return result
 
     def _persist(self, result: CommitResult) -> None:
+        receipt = result.receipt
+        stats = getattr(self.sink, "retry_stats", None)
+        retries_before = stats.retries if stats is not None else 0
         result.epoch_index = self.sink.put(result.kind, result.data)
+        if receipt is not None:
+            if stats is not None:
+                put_retries = stats.retries - retries_before
+                receipt.retries += put_retries
+                if put_retries:
+                    receipt.events.extend(stats.events[-put_retries:])
+            receipt.durability = self.sink.durability()
         self.commits += 1
         self.bytes_written += result.size
         if result.kind == FULL:

@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.core.errors import StorageError
 from repro.core.registry import ClassRegistry
 from repro.core.restore import ObjectTable
+from repro.core.retry import RetryPolicy, RetryStats
 from repro.core.storage import (
     BackgroundWriter,
     CheckpointStore,
@@ -48,6 +49,15 @@ class Sink:
     def put(self, kind: str, data: bytes) -> Optional[int]:
         """Accept one epoch; returns its index when the sink assigns one."""
         raise NotImplementedError
+
+    def durability(self) -> str:
+        """What :meth:`put` returning means for the epoch's durability.
+
+        One of ``"durable"`` (synchronously persisted), ``"queued"``
+        (handed to an asynchronous writer), ``"buffered"`` (held in
+        process memory), or ``"discarded"``.
+        """
+        return "buffered"
 
     def flush(self) -> None:
         """Block until everything put so far is durable (no-op by default)."""
@@ -78,6 +88,9 @@ class NullSink(Sink):
         self.discarded += 1
         return None
 
+    def durability(self) -> str:
+        return "discarded"
+
 
 class StoreSink(Sink):
     """Drain epochs into any :class:`~repro.core.storage.CheckpointStore`.
@@ -85,16 +98,38 @@ class StoreSink(Sink):
     A :class:`~repro.core.storage.BackgroundWriter` works transparently:
     ``flush``/``close`` delegate to it, and recovery/compaction flush the
     queue first, then operate on the durable backing store.
+
+    With a :class:`~repro.core.retry.RetryPolicy`, transient append
+    failures (``OSError`` and friends) are retried on the committing
+    thread before the error surfaces; every retry is counted in
+    :attr:`retry_stats` so commit receipts can report it.
     """
 
     can_recover = True
     can_compact = True
 
-    def __init__(self, store: CheckpointStore) -> None:
+    def __init__(
+        self, store: CheckpointStore, retry: Optional[RetryPolicy] = None
+    ) -> None:
         self.store = store
+        self.retry = retry
+        #: retry accounting for this sink's puts
+        self.retry_stats = RetryStats()
 
     def put(self, kind: str, data: bytes) -> Optional[int]:
-        return self.store.append(kind, data)
+        if self.retry is None:
+            return self.store.append(kind, data)
+        return self.retry.run(
+            lambda: self.store.append(kind, data),
+            on_retry=lambda attempt, exc, _d: self.retry_stats.note(
+                "put", attempt, exc
+            ),
+        )
+
+    def durability(self) -> str:
+        if isinstance(self.store, BackgroundWriter):
+            return "queued" if not self.store.degraded else "durable"
+        return "durable"
 
     def flush(self) -> None:
         flush = getattr(self.store, "flush", None)
@@ -150,7 +185,7 @@ class BufferSink(StoreSink):
         return len(self.store.epochs())
 
 
-def sink_for(target) -> Sink:
+def sink_for(target, retry: Optional[RetryPolicy] = None) -> Sink:
     """Coerce ``target`` into a :class:`Sink`.
 
     - ``None`` → :class:`NullSink` (nothing is persisted),
@@ -159,15 +194,19 @@ def sink_for(target) -> Sink:
       :class:`~repro.core.storage.BackgroundWriter`) → :class:`StoreSink`,
     - a directory path → :class:`StoreSink` over a new
       :class:`~repro.core.storage.FileStore` there.
+
+    ``retry`` attaches a :class:`~repro.core.retry.RetryPolicy` to the
+    :class:`StoreSink` this function builds (an existing sink passed in
+    keeps whatever policy it already has).
     """
     if target is None:
         return NullSink()
     if isinstance(target, Sink):
         return target
     if isinstance(target, CheckpointStore):
-        return StoreSink(target)
+        return StoreSink(target, retry=retry)
     if isinstance(target, (str, os.PathLike)):
-        return StoreSink(FileStore(os.fspath(target)))
+        return StoreSink(FileStore(os.fspath(target)), retry=retry)
     raise StorageError(
         f"cannot use {target!r} as a checkpoint sink (expected None, a "
         "Sink, a CheckpointStore, or a directory path)"

@@ -208,3 +208,150 @@ class TestBackgroundWriterFailStop:
             writer.flush()
         writer.close()  # error already surfaced: shutdown is clean
         assert not writer._thread.is_alive()
+
+
+class _TransientStore(MemoryStore):
+    """Every epoch's first ``failures`` append attempts raise OSError."""
+
+    def __init__(self, failures: int = 2) -> None:
+        super().__init__()
+        self._failures = failures
+        self._seen: dict = {}
+
+    def append(self, kind, data):
+        count = self._seen.get(data, 0)
+        if count < self._failures:
+            self._seen[data] = count + 1
+            raise OSError(f"transient glitch {count + 1}")
+        return super().append(kind, data)
+
+
+class TestBackgroundWriterRetry:
+    def test_transient_faults_lose_no_acknowledged_epochs(self):
+        from repro.core.retry import RetryPolicy
+
+        backing = _TransientStore(failures=2)
+        writer = BackgroundWriter(
+            backing, retry=RetryPolicy(max_attempts=4, base_delay=0.0)
+        )
+        payloads = [b"epoch-%d" % i for i in range(5)]
+        for payload in payloads:
+            writer.append(INCREMENTAL, payload)
+        writer.flush()
+        writer.close()
+        assert [e.data for e in backing.epochs()] == payloads
+        assert writer.dropped == 0
+        assert writer.retry_stats.retries == 10  # 2 per epoch
+
+    def test_exhausted_retry_is_still_fail_stop(self):
+        from repro.core.retry import RetryPolicy
+
+        backing = _TransientStore(failures=99)
+        writer = BackgroundWriter(
+            backing, retry=RetryPolicy(max_attempts=2, base_delay=0.0)
+        )
+        writer.append(INCREMENTAL, b"doomed")
+        writer.append(INCREMENTAL, b"behind")
+        with pytest.raises(StorageError, match="transient glitch"):
+            writer.flush()
+        assert backing.epochs() == []
+        writer.close()
+
+    def test_without_retry_first_transient_is_fatal(self):
+        writer = BackgroundWriter(_TransientStore(failures=1))
+        writer.append(INCREMENTAL, b"one-shot")
+        with pytest.raises(StorageError, match="transient glitch"):
+            writer.flush()
+        writer.close()
+
+
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+class TestBackgroundWriterDegradation:
+    """The writer *thread* dying must degrade, never silently drop.
+
+    Each test kills the drain thread on purpose, so the unhandled-thread
+    -exception warning is the expected signal, not a defect.
+    """
+
+    def kill_thread(self, writer):
+        # An unpackable queue item escapes the drain loop's guarded
+        # region, which is exactly the "writer thread died on a bug"
+        # failure mode degradation exists for.
+        writer._queue.put("garbage")
+        writer._thread.join(5)
+        assert not writer._thread.is_alive()
+
+    def test_appends_degrade_to_synchronous_writes(self):
+        backing = MemoryStore()
+        writer = BackgroundWriter(backing)
+        self.kill_thread(writer)
+        index = writer.append(INCREMENTAL, b"sync-epoch")
+        assert index == 0  # the real backing index, not a queue position
+        assert writer.degraded
+        assert writer.sync_writes == 1
+        assert writer.degradation_events
+        assert [e.data for e in backing.epochs()] == [b"sync-epoch"]
+        writer.close()
+
+    def test_queued_epochs_are_adopted_not_dropped(self):
+        backing = _GatedFailingStore(fail_on=-1)  # gate only, never fails
+        writer = BackgroundWriter(backing)
+        writer.append(INCREMENTAL, b"a")  # thread takes it, blocks on gate
+        writer._queue.put("garbage")  # thread will die after writing "a"
+        writer.append(INCREMENTAL, b"b")
+        writer.append(INCREMENTAL, b"c")
+        backing.gate.set()
+        writer._thread.join(5)
+        assert not writer._thread.is_alive()
+        writer.flush()  # adopts the orphaned queue on this thread
+        assert writer.degraded
+        assert writer.dropped == 0
+        assert [e.data for e in backing.epochs()] == [b"a", b"b", b"c"]
+        writer.close()
+
+    def test_epochs_call_also_degrades(self):
+        backing = MemoryStore()
+        writer = BackgroundWriter(backing)
+        writer.append(INCREMENTAL, b"x")
+        writer.flush()
+        self.kill_thread(writer)
+        writer._queue.put((INCREMENTAL, b"y"))  # stranded by the dead thread
+        assert [e.data for e in writer.epochs()] == [b"x", b"y"]
+        assert writer.degraded
+        writer.close()
+
+
+class TestBackgroundWriterTimeouts:
+    def test_flush_timeout_names_queued_count(self):
+        backing = _GatedFailingStore(fail_on=-1)
+        writer = BackgroundWriter(backing)
+        for i in range(3):
+            writer.append(INCREMENTAL, b"epoch-%d" % i)
+        with pytest.raises(
+            StorageError, match=r"3 epoch\(s\) still queued, not durable"
+        ):
+            writer.flush(timeout=0.05)
+        backing.gate.set()
+        writer.close()
+
+    def test_close_timeout_names_queued_count(self):
+        backing = _GatedFailingStore(fail_on=-1)
+        writer = BackgroundWriter(backing)
+        writer.append(INCREMENTAL, b"stuck")
+        with pytest.raises(
+            StorageError, match=r"1 epoch\(s\) still queued, not durable"
+        ):
+            writer.close(timeout=0.05)
+        backing.gate.set()
+        writer._thread.join(5)
+
+    def test_flush_without_timeout_still_blocks_to_completion(self):
+        backing = _SlowStore()
+        writer = BackgroundWriter(backing)
+        for i in range(3):
+            writer.append(INCREMENTAL, b"epoch-%d" % i)
+        writer.flush()  # no timeout: waits as long as it takes
+        assert len(backing.epochs()) == 3
+        writer.close()

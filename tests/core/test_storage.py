@@ -289,3 +289,86 @@ class TestFileStoreEpochCache:
         assert epochs[0].kind == FULL
         recovered = store.recover()[root._ckpt_info.object_id]
         assert structurally_equal(root, recovered, compare_ids=True)
+
+
+class TestNextIndexCache:
+    """Appends must not rescan the directory per epoch (was O(n²))."""
+
+    def test_directory_scanned_once_across_appends(self, tmp_path, monkeypatch):
+        import repro.core.storage as storage_module
+
+        store = FileStore(str(tmp_path / "ckpt"))
+        real_listdir = os.listdir
+        calls = []
+
+        def counting_listdir(path):
+            calls.append(path)
+            return real_listdir(path)
+
+        monkeypatch.setattr(storage_module.os, "listdir", counting_listdir)
+        for index in range(20):
+            assert store.append(INCREMENTAL, b"x") == index
+        # One scan to seat the counter; every later append uses the cache.
+        scans = [path for path in calls if path == store.directory]
+        assert len(scans) <= 1
+
+    def test_cache_survives_compaction(self, tmp_path):
+        from repro.core.storage import compact
+
+        store = FileStore(str(tmp_path / "ckpt"))
+        _persist_history(store)
+        new_base = compact(store)  # removes epochs below the new base
+        assert store.append(INCREMENTAL, b"after") == new_base + 1
+
+    def test_fresh_store_continues_the_sequence(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        first = FileStore(directory)
+        first.append(FULL, b"a")
+        first.append(INCREMENTAL, b"b")
+        second = FileStore(directory)
+        assert second.append(INCREMENTAL, b"c") == 2
+
+
+class TestOrphanQuarantine:
+    """Stranded ``*.tmp`` files are moved aside when the store opens."""
+
+    def test_orphan_tmp_quarantined_on_init(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        os.makedirs(directory)
+        orphan = os.path.join(directory, "epoch-000004.ckpt.tmp")
+        open(orphan, "wb").write(b"partial write")
+        store = FileStore(directory)
+        assert not os.path.exists(orphan)
+        moved = os.path.join(store.quarantine_dir, "epoch-000004.ckpt.tmp")
+        assert os.path.exists(moved)
+        assert store.quarantined == [moved]
+        assert open(moved, "rb").read() == b"partial write"
+
+    def test_quarantine_collisions_get_suffixes(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        os.makedirs(directory)
+        name = "epoch-000001.ckpt.tmp"
+        open(os.path.join(directory, name), "wb").write(b"first")
+        FileStore(directory)
+        open(os.path.join(directory, name), "wb").write(b"second")
+        store = FileStore(directory)
+        quarantined = sorted(os.listdir(store.quarantine_dir))
+        assert quarantined == [name, f"{name}.0"]
+
+    def test_clean_directory_gets_no_quarantine_dir(self, tmp_path):
+        store = FileStore(str(tmp_path / "ckpt"))
+        store.append(FULL, b"x")
+        assert not os.path.exists(store.quarantine_dir)
+        assert store.quarantined == []
+
+    def test_quarantined_orphans_do_not_shadow_epochs(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        store = FileStore(directory)
+        store.append(FULL, b"base")
+        open(os.path.join(directory, "epoch-000001.ckpt.tmp"), "wb").write(
+            b"torn"
+        )
+        reopened = FileStore(directory)
+        # The orphan index is reusable: nothing durable occupies it.
+        assert reopened.append(INCREMENTAL, b"delta") == 1
+        assert [e.data for e in reopened.epochs()] == [b"base", b"delta"]

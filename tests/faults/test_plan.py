@@ -1,0 +1,90 @@
+"""Unit tests for deterministic fault plans."""
+
+import pytest
+
+from repro.core.errors import CheckpointError
+from repro.faults.plan import (
+    ALL_KINDS,
+    CRASH_BEFORE,
+    CRASH_KINDS,
+    TORN,
+    TRANSIENT,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CheckpointError, match="unknown fault kind"):
+            FaultSpec(0, "meteor-strike")
+
+    def test_negative_op_rejected(self):
+        with pytest.raises(CheckpointError, match="op must be >= 0"):
+            FaultSpec(-1, TORN)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(CheckpointError, match="attempts must be >= 1"):
+            FaultSpec(0, TRANSIENT, attempts=0)
+
+    def test_crash_kinds(self):
+        assert FaultSpec(0, TORN).crashes
+        assert FaultSpec(0, CRASH_BEFORE).crashes
+        assert not FaultSpec(0, TRANSIENT).crashes
+
+    def test_describe_mentions_op(self):
+        assert "op 3" in FaultSpec(3, TORN, param=7).describe()
+
+
+class TestFaultPlan:
+    def test_lookup_by_op(self):
+        spec = FaultSpec(2, TORN, param=5)
+        plan = FaultPlan([spec])
+        assert plan.for_op(2) is spec
+        assert plan.for_op(0) is None
+
+    def test_duplicate_op_rejected(self):
+        with pytest.raises(CheckpointError, match="already has a fault"):
+            FaultPlan([FaultSpec(1, TORN), FaultSpec(1, CRASH_BEFORE)])
+
+    def test_specs_sorted_by_op(self):
+        plan = FaultPlan([FaultSpec(4, TORN), FaultSpec(1, TRANSIENT)])
+        assert [spec.op for spec in plan] == [1, 4]
+
+    def test_describe_empty(self):
+        assert FaultPlan().describe() == "no faults"
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        first = FaultPlan.generate(42, ops=10)
+        second = FaultPlan.generate(42, ops=10)
+        assert first.specs() == second.specs()
+
+    def test_different_seeds_diverge_somewhere(self):
+        plans = [FaultPlan.generate(seed, ops=10).specs() for seed in range(20)]
+        assert len({tuple(plan) for plan in plans}) > 1
+
+    def test_nothing_scheduled_after_a_crash(self):
+        for seed in range(50):
+            plan = FaultPlan.generate(seed, ops=10)
+            specs = plan.specs()
+            crash_positions = [
+                position
+                for position, spec in enumerate(specs)
+                if spec.kind in CRASH_KINDS
+            ]
+            if crash_positions:
+                assert crash_positions[0] == len(specs) - 1
+
+    def test_all_kinds_reachable(self):
+        seen = set()
+        for seed in range(300):
+            for spec in FaultPlan.generate(seed, ops=8, max_faults=3):
+                seen.add(spec.kind)
+        assert seen == set(ALL_KINDS)
+
+    def test_kind_restriction_respected(self):
+        for seed in range(30):
+            plan = FaultPlan.generate(seed, ops=6, kinds=(TRANSIENT,))
+            assert all(spec.kind == TRANSIENT for spec in plan)

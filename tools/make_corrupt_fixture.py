@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Build a deliberately damaged checkpoint directory (fsck CI fixture).
+
+Writes a real session history into ``OUT_DIR`` and then damages it the
+way crashes do:
+
+- tears the newest epoch mid-payload (truncated file),
+- flips one bit in a middle epoch (CRC-detectable corruption),
+- strands a partial ``epoch-*.ckpt.tmp`` (crash between write and
+  rename).
+
+The result: ``python -m repro.fsck OUT_DIR`` must report the directory
+inconsistent, and ``--repair`` must quarantine exactly the damaged
+files and leave a consistent, recoverable prefix.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_corrupt_fixture.py OUT_DIR [--epochs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime.session import CheckpointSession  # noqa: E402
+from repro.synthetic.structures import build_structures, element_at  # noqa: E402
+
+
+def build_fixture(directory: str, epochs: int = 8) -> dict:
+    """Create the damaged store; returns what was damaged (for asserts)."""
+    roots = build_structures(3, 2, 3, 1)
+    session = CheckpointSession(roots=roots, sink=directory)
+    session.base()
+    for step in range(1, epochs):
+        element_at(roots[step % 3], step % 2, step % 3).v0 = step * 100 + 1
+        session.commit()
+
+    def epoch_path(index: int) -> str:
+        return os.path.join(directory, f"epoch-{index:06d}.ckpt")
+
+    # Torn tail: the newest epoch stops mid-payload.
+    torn = epoch_path(epochs - 1)
+    with open(torn, "rb+") as handle:
+        handle.truncate(os.path.getsize(torn) // 2)
+
+    # Silent corruption: one flipped bit in a middle epoch's payload.
+    flipped = epoch_path(epochs // 2)
+    data = bytearray(open(flipped, "rb").read())
+    data[-1] ^= 0x10
+    with open(flipped, "wb") as handle:
+        handle.write(bytes(data))
+
+    # Crash between the tmp write and the atomic rename.
+    orphan = epoch_path(epochs) + ".tmp"
+    with open(orphan, "wb") as handle:
+        handle.write(b"partial frame, never renamed")
+
+    return {
+        "directory": directory,
+        "epochs": epochs,
+        "torn": os.path.basename(torn),
+        "corrupt": os.path.basename(flipped),
+        "orphan": os.path.basename(orphan),
+        # Everything before the flipped epoch survives repair.
+        "expected_durable": list(range(epochs // 2)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out_dir", help="directory to create the fixture in")
+    parser.add_argument("--epochs", type=int, default=8)
+    args = parser.parse_args(argv)
+    if os.path.exists(args.out_dir) and os.listdir(args.out_dir):
+        parser.error(f"{args.out_dir} exists and is not empty")
+    damage = build_fixture(args.out_dir, epochs=args.epochs)
+    for key, value in damage.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
