@@ -100,16 +100,21 @@ def table1(
             "sim speedup",
         ),
     )
+    from repro.obs.metrics import MetricsRegistry
+
     reports = {}
     metered = {}
     for strategy in ("full", "incremental", "specialized"):
+        registry = MetricsRegistry()
         engine = AnalysisEngine(
             source,
             division=image_division(),
             strategy=strategy,
             measure_traversal=True,
+            metrics=registry,
         )
         reports[strategy] = engine.run()
+        result.metrics[strategy] = registry.snapshot()
         meter_engine = AnalysisEngine(
             source, division=image_division(), strategy=strategy, meter=True
         )
@@ -452,6 +457,7 @@ def phase_inference(
     import time
 
     from repro.core.checkpoint import reset_flags
+    from repro.obs.metrics import MetricsRegistry
     from repro.runtime import CheckpointSession, InferredStrategy, SpecializedStrategy
     from repro.spec.effects.wholeprogram import infer_phases
     from repro.spec.modpattern import ModificationPattern
@@ -522,8 +528,12 @@ def phase_inference(
         baseline = None
         for name, strategy, setup, pattern in variants:
             snapshot.restore()
-            session = CheckpointSession(roots=population, strategy=strategy)
+            registry = MetricsRegistry()
+            session = CheckpointSession(
+                roots=population, strategy=strategy, metrics=registry
+            )
             committed = session.commit(phase=label)
+            result.metrics[f"{label}/{name}"] = registry.snapshot()
             if baseline is None:
                 baseline = committed.data
             skipped = len(pattern.skipped_subtrees()) if pattern else 0
@@ -579,11 +589,14 @@ def fault_recovery(
 
     from repro.faults.crashsim import CrashSim, build_matrix
     from repro.fsck.manager import RecoveryManager
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import MemoryExporter, Tracer
 
     count = _population(paper_scale, structures)
     workdir = tempfile.mkdtemp(prefix="bench-fault-recovery-")
     try:
-        sim = CrashSim(workdir)
+        exporter = MemoryExporter()
+        sim = CrashSim(workdir, tracer=Tracer([exporter]))
         scenarios = build_matrix()
         start = time.perf_counter()
         results = sim.run_matrix(scenarios)
@@ -622,11 +635,19 @@ def fault_recovery(
         epoch_count = max(50, count // 10)
         store_dir = os.path.join(workdir, "repair-cost")
         roots = build_structures(3, 2, 3, 1)
-        session = CheckpointSession(roots=roots, sink=store_dir)
+        registry = MetricsRegistry()
+        session = CheckpointSession(
+            roots=roots, sink=store_dir, metrics=registry
+        )
         session.base()
         for step in range(1, epoch_count):
             element_at(roots[step % 3], step % 2, step % 3).v0 = step
             session.commit()
+        result.metrics["repair-cost-session"] = registry.snapshot()
+        result.metrics["crashsim-events"] = {
+            etype: len(exporter.of_type(etype))
+            for etype in ("crashsim.scenario.end", "fsck.repair", "fsck.scan")
+        }
 
         store = FileStore(store_dir)
         start = time.perf_counter()

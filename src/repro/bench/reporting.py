@@ -18,6 +18,9 @@ class ExperimentResult:
     headers: Sequence[str]
     rows: List[Sequence[Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: instrumentation snapshots (e.g. per-variant MetricsRegistry
+    #: snapshots with histogram percentiles), keyed by a label
+    metrics: dict = field(default_factory=dict)
 
     def add_row(self, *cells: Any) -> None:
         self.rows.append(cells)
@@ -50,6 +53,7 @@ class ExperimentResult:
             "headers": list(self.headers),
             "rows": [list(row) for row in self.rows],
             "notes": list(self.notes),
+            "metrics": dict(self.metrics),
         }
 
     def write_json(self, directory: str) -> str:

@@ -173,6 +173,34 @@ def reset_flags(root: Checkpointable) -> None:
         stack.extend(obj.children())
 
 
+def snapshot_flags(roots) -> list:
+    """Capture the modification flag of every object reachable from ``roots``.
+
+    Returns an opaque state for :func:`restore_flags`. Measurement paths
+    use the pair to run a live strategy — whose ``record`` pass clears
+    flags as a side effect — without disturbing the delta a later real
+    commit must observe.
+    """
+    state = []
+    stack = list(roots)
+    seen: Set[int] = set()
+    while stack:
+        obj = stack.pop()
+        info = obj._ckpt_info
+        if info.object_id in seen:
+            continue
+        seen.add(info.object_id)
+        state.append((info, info.modified))
+        stack.extend(obj.children())
+    return state
+
+
+def restore_flags(state) -> None:
+    """Reinstate the flags captured by :func:`snapshot_flags`."""
+    for info, modified in state:
+        info.modified = modified
+
+
 def set_all_flags(root: Checkpointable) -> None:
     """Mark every object reachable from ``root`` as modified."""
     stack = [root]

@@ -24,6 +24,7 @@ import os
 import queue
 import struct
 import threading
+import time
 import zlib
 from typing import Dict, List, NamedTuple, Optional
 
@@ -31,6 +32,8 @@ from repro.core.errors import StorageError
 from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
 from repro.core.restore import ObjectTable, apply_incremental, restore_full
 from repro.core.retry import RetryPolicy, RetryStats
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 
 FULL = "full"
 INCREMENTAL = "incremental"
@@ -96,20 +99,29 @@ class CheckpointStore:
 
 
 class MemoryStore(CheckpointStore):
-    """Volatile store for tests and examples within one process."""
+    """Volatile store for tests and examples within one process.
+
+    ``append`` and ``epochs`` are safe to call concurrently — a
+    :class:`BackgroundWriter` drains into this store from its own thread
+    while the committing thread reads it, so index assignment and the
+    epoch list are guarded by a lock.
+    """
 
     def __init__(self) -> None:
         self._epochs: List[Epoch] = []
+        self._lock = threading.Lock()
 
     def append(self, kind: str, data: bytes) -> int:
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
-        index = len(self._epochs)
-        self._epochs.append(Epoch(index, kind, bytes(data)))
+        with self._lock:
+            index = len(self._epochs)
+            self._epochs.append(Epoch(index, kind, bytes(data)))
         return index
 
     def epochs(self) -> List[Epoch]:
-        return list(self._epochs)
+        with self._lock:
+            return list(self._epochs)
 
 
 class FileStore(CheckpointStore):
@@ -139,6 +151,11 @@ class FileStore(CheckpointStore):
         self._verified: Dict[int, tuple] = {}
         #: next epoch index to assign; None until the first append scans
         self._next: Optional[int] = None
+        # Guards ``_verified`` and ``_next``: a BackgroundWriter appends
+        # from its drain thread while the committing thread reads
+        # ``epochs()``; unguarded, the verified-cache dict mutates under
+        # iteration and two appends can claim the same index.
+        self._lock = threading.RLock()
         #: orphaned ``*.tmp`` files moved aside by this instance
         self.quarantined: List[str] = []
         os.makedirs(directory, exist_ok=True)
@@ -192,32 +209,33 @@ class FileStore(CheckpointStore):
     def append(self, kind: str, data: bytes) -> int:
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
-        index = self._next_index()
-        plain = bytes(data)
-        if self.compress:
-            payload = zlib.compress(plain, level=6)
-            code = _COMPRESSED_CODES[kind]
-        else:
-            payload = plain
-            code = _KIND_CODES[kind]
-        header = _HEADER.pack(
-            _MAGIC, _VERSION, code, len(payload), zlib.crc32(payload)
-        )
-        path = self._epoch_path(index)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            handle.write(header)
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-        self._next = index + 1
-        # We just wrote and framed this payload: it is verified by
-        # construction, so seed the cache with the pre-compression bytes.
-        signature = self._stat_signature(path)
-        if signature is not None:
-            self._verified[index] = (signature, Epoch(index, kind, plain))
-        self._write_manifest()
+        with self._lock:
+            index = self._next_index()
+            plain = bytes(data)
+            if self.compress:
+                payload = zlib.compress(plain, level=6)
+                code = _COMPRESSED_CODES[kind]
+            else:
+                payload = plain
+                code = _KIND_CODES[kind]
+            header = _HEADER.pack(
+                _MAGIC, _VERSION, code, len(payload), zlib.crc32(payload)
+            )
+            path = self._epoch_path(index)
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "wb") as handle:
+                handle.write(header)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            self._next = index + 1
+            # We just wrote and framed this payload: it is verified by
+            # construction, so seed the cache with the pre-compression bytes.
+            signature = self._stat_signature(path)
+            if signature is not None:
+                self._verified[index] = (signature, Epoch(index, kind, plain))
+            self._write_manifest()
         return index
 
     def _next_index(self) -> int:
@@ -228,10 +246,11 @@ class FileStore(CheckpointStore):
         index, so the cached counter stays correct across it — rescanning
         the directory on every append made long runs O(n²) in ``listdir``.
         """
-        if self._next is None:
-            used = [epoch_index for epoch_index, _ in self._epoch_files()]
-            self._next = (max(used) + 1) if used else 0
-        return self._next
+        with self._lock:
+            if self._next is None:
+                used = [epoch_index for epoch_index, _ in self._epoch_files()]
+                self._next = (max(used) + 1) if used else 0
+            return self._next
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -265,28 +284,33 @@ class FileStore(CheckpointStore):
         verified by this store (appended or read earlier) is served from
         the cache unless its file changed on disk since.
         """
-        result: List[Epoch] = []
-        files = self._epoch_files()
-        live = {index for index, _ in files}
-        # Compaction (or external cleanup) removed the files; the cache
-        # must not outlive them.
-        for index in [i for i in self._verified if i not in live]:
-            del self._verified[index]
-        for index, path in files:
-            signature = self._stat_signature(path)
-            cached = self._verified.get(index)
-            if cached is not None and signature is not None and cached[0] == signature:
-                result.append(cached[1])
-                continue
-            self._verified.pop(index, None)
-            data = self._read_epoch(path)
-            if data is None:
-                break
-            epoch = Epoch(index, data[0], data[1])
-            if signature is not None:
-                self._verified[index] = (signature, epoch)
-            result.append(epoch)
-        return result
+        with self._lock:
+            result: List[Epoch] = []
+            files = self._epoch_files()
+            live = {index for index, _ in files}
+            # Compaction (or external cleanup) removed the files; the cache
+            # must not outlive them.
+            for index in [i for i in self._verified if i not in live]:
+                del self._verified[index]
+            for index, path in files:
+                signature = self._stat_signature(path)
+                cached = self._verified.get(index)
+                if (
+                    cached is not None
+                    and signature is not None
+                    and cached[0] == signature
+                ):
+                    result.append(cached[1])
+                    continue
+                self._verified.pop(index, None)
+                data = self._read_epoch(path)
+                if data is None:
+                    break
+                epoch = Epoch(index, data[0], data[1])
+                if signature is not None:
+                    self._verified[index] = (signature, epoch)
+                result.append(epoch)
+            return result
 
     @staticmethod
     def _stat_signature(path: str) -> Optional[tuple]:
@@ -395,10 +419,25 @@ class BackgroundWriter(CheckpointStore):
         self._closed = False
         self._idle = threading.Event()
         self._idle.set()
+        #: observability hooks; no-op singletons until :meth:`instrument`
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
         self._thread = threading.Thread(
             target=self._drain, name="checkpoint-writer", daemon=True
         )
         self._thread.start()
+
+    def instrument(self, tracer, metrics) -> None:
+        """Attach a tracer/metrics pair (only replaces no-op defaults).
+
+        The drain thread reads these attributes without a lock, which is
+        safe: both emit paths tolerate either the old or the new hook, and
+        exporter errors never propagate out of the tracer.
+        """
+        if self.tracer is NULL_TRACER:
+            self.tracer = tracer
+        if self.metrics is NULL_METRICS:
+            self.metrics = metrics
 
     # -- writer thread ---------------------------------------------------
 
@@ -423,16 +462,41 @@ class BackgroundWriter(CheckpointStore):
                     self.dropped += 1  # fail-stop: never write past a hole
                     continue
                 kind, data = item
+                instrumented = self.tracer.enabled or self.metrics.enabled
+                start = time.perf_counter() if instrumented else 0.0
                 try:
                     self._append_backing(kind, data)
                 except BaseException as exc:  # surfaced on the next call
                     self._error = exc
                     self._cause = str(exc)
                     self._failed = True
+                    self.tracer.event(
+                        "writer.failed", kind=kind, error=str(exc)
+                    )
+                    self.metrics.counter("writer_failures_total").inc()
+                else:
+                    if instrumented:
+                        self._note_drain(
+                            kind, len(data), time.perf_counter() - start
+                        )
             finally:
                 self._queue.task_done()
                 if self._queue.unfinished_tasks == 0:
                     self._idle.set()
+
+    def _note_drain(self, kind: str, size: int, elapsed: float) -> None:
+        """One drained epoch's trace event and metrics."""
+        depth = self._queue.qsize()
+        self.tracer.event(
+            "writer.drain",
+            kind=kind,
+            bytes=size,
+            wall_seconds=elapsed,
+            queue_depth=depth,
+        )
+        self.metrics.counter("writer_drained_total").inc()
+        self.metrics.gauge("writer_queue_depth").set(depth)
+        self.metrics.histogram("writer_drain_seconds").observe(elapsed)
 
     # -- degradation -------------------------------------------------------
 
@@ -452,6 +516,12 @@ class BackgroundWriter(CheckpointStore):
             self.degradation_events.append(
                 "writer thread died; degraded to synchronous writes"
             )
+            self.tracer.event(
+                "writer.degraded",
+                reason="writer thread died; degraded to synchronous writes",
+                queued=self._pending(),
+            )
+            self.metrics.counter("writer_degradations_total").inc()
         while True:
             try:
                 item = self._queue.get_nowait()

@@ -49,6 +49,7 @@ from repro.faults.plan import (
     FaultSpec,
 )
 from repro.fsck.manager import RecoveryManager
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.session import CheckpointSession
 from repro.runtime.sink import StoreSink
 
@@ -182,12 +183,15 @@ class CrashSim:
         root_dir: str,
         workload: Optional[Workload] = None,
         retry: Optional[RetryPolicy] = None,
+        tracer=None,
     ) -> None:
         self.root_dir = root_dir
         self.workload = workload or default_workload()
         self.retry = retry or RetryPolicy(
             max_attempts=4, base_delay=0.0005, max_delay=0.002
         )
+        #: observability hook; the no-op singleton unless one is supplied
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         os.makedirs(root_dir, exist_ok=True)
         #: all runs allocate ids from this base, so runs are comparable
         self._id_base = DEFAULT_ALLOCATOR.last_allocated + 1
@@ -251,6 +255,18 @@ class CrashSim:
         return StoreSink(writer)
 
     def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        with self.tracer.span(
+            "crashsim.scenario", name=scenario.name, path=scenario.path
+        ) as span:
+            result = self._run_scenario(scenario)
+            span.add(
+                crashed=result.crashed,
+                durable_epochs=result.durable_epochs,
+                ok=result.ok,
+            )
+        return result
+
+    def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
         directory = os.path.join(self.root_dir, f"run-{scenario.name}")
         shutil.rmtree(directory, ignore_errors=True)
         reference = self.reference()
@@ -289,8 +305,8 @@ class CrashSim:
                 injected = list(faulty.injected)
 
         # -- simulated restart: repair, then recover from a fresh store --
-        RecoveryManager(directory).repair()
-        verify = RecoveryManager(directory).scan()
+        RecoveryManager(directory, tracer=self.tracer).repair()
+        verify = RecoveryManager(directory, tracer=self.tracer).scan()
         fresh = FileStore(directory)
         epochs = fresh.epochs()
         durable = len(epochs)

@@ -40,6 +40,7 @@ from repro.core.storage import (
     _VERSION,
     FULL,
 )
+from repro.obs.tracer import NULL_TRACER
 
 INTACT = "intact"
 TORN = "torn"
@@ -174,12 +175,17 @@ class RecoveryManager:
     """Scan and repair one checkpoint directory (see module docstring)."""
 
     def __init__(
-        self, directory: str, quarantine_dir: Optional[str] = None
+        self,
+        directory: str,
+        quarantine_dir: Optional[str] = None,
+        tracer=None,
     ) -> None:
         self.directory = directory
         self.quarantine_dir = quarantine_dir or os.path.join(
             directory, "quarantine"
         )
+        #: observability hook; the no-op singleton unless one is supplied
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- scanning ----------------------------------------------------------
 
@@ -204,6 +210,15 @@ class RecoveryManager:
             for entry in entries
             if entry.status in (TORN, CORRUPT, ORPHAN_TMP, UNREACHABLE)
         ]
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fsck.scan",
+                directory=self.directory,
+                files=len(entries),
+                durable_epochs=len(report.durable_epochs),
+                consistent=report.consistent,
+                recoverable=report.recoverable,
+            )
         return report
 
     def _classify(self, name: str, path: str) -> FileReport:
@@ -305,6 +320,15 @@ class RecoveryManager:
         report.consistent = verify.consistent
         report.manifest_ok = verify.manifest_ok
         report.repaired = True
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fsck.repair",
+                directory=self.directory,
+                quarantined=moved,
+                durable_epochs=len(report.durable_epochs),
+                consistent=report.consistent,
+                recoverable=report.recoverable,
+            )
         return report
 
     def _quarantine(self, name: str) -> bool:

@@ -1,0 +1,73 @@
+"""repro.obs — structured tracing, metrics, and profiling for the pipeline.
+
+The observability layer the runtime emits its own measurements through,
+instead of ad-hoc ``perf_counter`` deltas in every consumer:
+
+- :mod:`repro.obs.tracer` — typed event records (commit start/end,
+  strategy fallback, retry attempts, compaction, writer drains, fsck
+  repairs) delivered to pluggable exporters, including an append-only
+  JSON-lines file. The disabled tracer is the shared :data:`NULL_TRACER`
+  no-op singleton, so uninstrumented hot paths pay nothing.
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket latency
+  histograms behind one :class:`MetricsRegistry`, snapshotable as JSON
+  (with interpolated percentiles).
+- :mod:`repro.obs.report` — ``python -m repro.obs report trace.jsonl``
+  aggregates a trace into the per-phase commit-cost table shape of the
+  paper's figures.
+
+Attach both to a session::
+
+    from repro.obs import JsonlExporter, MetricsRegistry, Tracer
+
+    tracer = Tracer([JsonlExporter("trace.jsonl")])
+    metrics = MetricsRegistry()
+    session = CheckpointSession(roots=root, sink="ckpts/",
+                                tracer=tracer, metrics=metrics)
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    metric_key,
+)
+from repro.obs.report import TraceReport, aggregate, read_trace, report_file
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Exporter,
+    JsonlExporter,
+    MemoryExporter,
+    NullTracer,
+    Span,
+    Tracer,
+    tracer_or_null,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Exporter",
+    "Gauge",
+    "Histogram",
+    "JsonlExporter",
+    "MemoryExporter",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "TraceReport",
+    "Tracer",
+    "aggregate",
+    "metric_key",
+    "read_trace",
+    "report_file",
+    "tracer_or_null",
+]

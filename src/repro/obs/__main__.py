@@ -1,0 +1,136 @@
+"""CLI: ``python -m repro.obs report <trace.jsonl>`` and a traced workload.
+
+``report``
+    Aggregate a JSON-lines trace into per-phase commit latency
+    percentiles, bytes, and strategy-tier counts (``--json`` for the
+    machine-readable form).
+
+``workload``
+    Run the deterministic synthetic workload with tracing and metrics
+    enabled — the CI smoke path proving the whole instrumented pipeline
+    end to end. Writes the trace (and optionally a metrics snapshot),
+    then prints the aggregated report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import report_file, save_json
+
+    report = report_file(args.trace)
+    if args.json:
+        print(save_json(report, args.out))
+    else:
+        print(report.render())
+        if args.out is not None:
+            save_json(report, args.out)
+    if not report.records:
+        print(f"error: no trace records in {args.trace}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    import os
+    import tempfile
+
+    from repro.core.checkpoint import snapshot_flags
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import report_file
+    from repro.obs.tracer import JsonlExporter, Tracer
+    from repro.runtime.policy import EpochPolicy
+    from repro.runtime.session import CheckpointSession
+    from repro.synthetic.structures import build_structures, element_at
+
+    tracer = Tracer([JsonlExporter(args.out)])
+    metrics = MetricsRegistry()
+    store_dir = args.store or tempfile.mkdtemp(prefix="obs-workload-")
+    roots = build_structures(args.structures, 2, 3, 1)
+    session = CheckpointSession(
+        roots=roots,
+        sink=store_dir,
+        policy=EpochPolicy.periodic_full(interval=8),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    session.base()
+    phases = ("hot", "tail")
+    for step in range(1, args.epochs):
+        compound = roots[step % len(roots)]
+        element_at(compound, step % 2, step % 3).v0 = step
+        phase = phases[step % len(phases)]
+        dirty = sum(
+            1 for _, modified in snapshot_flags(roots) if modified
+        )
+        metrics.counter("dirty_objects_total", phase=phase).inc(dirty)
+        tracer.event("workload.step", step=step, phase=phase, dirty_objects=dirty)
+        session.commit(phase=phase)
+    session.close()
+    tracer.close()
+
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(metrics.to_json() + "\n")
+        print(f"[wrote {args.metrics_out}]")
+    print(f"[wrote {args.out}: {session.commits} commits into {store_dir}]")
+    print(report_file(args.out).render())
+    if args.store is None:
+        import shutil
+
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace reporting and the traced synthetic workload.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="aggregate a JSON-lines trace")
+    report.add_argument("trace", help="path to the trace.jsonl file")
+    report.add_argument(
+        "--json", action="store_true", help="print the machine-readable report"
+    )
+    report.add_argument(
+        "--out", default=None, metavar="FILE", help="also write the JSON report"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    workload = sub.add_parser(
+        "workload", help="run the traced synthetic workload"
+    )
+    workload.add_argument(
+        "--out", default="trace.jsonl", metavar="FILE", help="trace output path"
+    )
+    workload.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="also write the metrics snapshot as JSON",
+    )
+    workload.add_argument(
+        "--structures", type=int, default=50, help="synthetic population size"
+    )
+    workload.add_argument(
+        "--epochs", type=int, default=24, help="epochs to commit (incl. base)"
+    )
+    workload.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory (default: a temporary one, removed after)",
+    )
+    workload.set_defaults(func=_cmd_workload)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

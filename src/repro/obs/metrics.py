@@ -1,0 +1,288 @@
+"""Counters, gauges, and fixed-bucket histograms for the checkpoint pipeline.
+
+The paper's whole argument is quantitative — per-phase checkpoint cost,
+bytes written, specialization hit rates — yet measurements used to be
+hand-rolled ``perf_counter`` deltas scattered through the consumers. A
+:class:`MetricsRegistry` centralizes them: the runtime records into named
+instruments, and one :meth:`~MetricsRegistry.snapshot` call yields the
+whole state as JSON-ready data (histograms include interpolated
+percentiles, so ``BENCH_*.json`` reports latency distributions, not just
+totals).
+
+Instruments are identified by name plus a label set
+(``commit_seconds{phase=BTA}``); asking for the same identity twice
+returns the same instrument. Everything is guarded by one lock, because
+the :class:`~repro.core.storage.BackgroundWriter` drain thread records
+concurrently with the committing thread.
+
+The disabled registry is the shared :data:`NULL_METRICS` singleton: its
+instruments are process-wide no-op singletons, so an uninstrumented hot
+path performs no allocation and no locking.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: default latency buckets (seconds): ~50us to 5s, roughly log-spaced
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+#: default size buckets (bytes): 64 B to 64 MB, powers of ~8
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    64.0,
+    512.0,
+    4096.0,
+    32768.0,
+    262144.0,
+    2097152.0,
+    16777216.0,
+    67108864.0,
+)
+
+#: the percentiles every histogram snapshot reports
+SNAPSHOT_PERCENTILES = (0.5, 0.9, 0.99)
+
+
+def metric_key(name: str, labels: Dict[str, object]) -> str:
+    """The canonical identity string: ``name{k1=v1,k2=v2}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("key", "value", "_lock")
+
+    def __init__(self, key: str, lock: threading.Lock) -> None:
+        self.key = key
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, chain length)."""
+
+    __slots__ = ("key", "value", "_lock")
+
+    def __init__(self, key: str, lock: threading.Lock) -> None:
+        self.key = key
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus sum/count/min/max.
+
+    A value lands in the first bucket whose upper bound is ``>=`` the
+    value; values above the last bound land in the overflow bucket.
+    Percentiles are estimated by linear interpolation inside the bucket
+    containing the requested rank (the overflow bucket reports the
+    observed maximum).
+    """
+
+    __slots__ = ("key", "buckets", "counts", "sum", "count", "min", "max", "_lock")
+
+    def __init__(
+        self,
+        key: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.key = key
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = len(self.buckets)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = position
+                    break
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (``0 < q <= 1``); None when empty."""
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if index == len(self.buckets):
+                    return self.max
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.max
+
+    def snapshot(self) -> dict:
+        data = {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+        for q in SNAPSHOT_PERCENTILES:
+            data[f"p{int(q * 100)}"] = self.percentile(q)
+        return data
+
+
+class MetricsRegistry:
+    """Named instruments plus one JSON-ready snapshot of all of them."""
+
+    #: False only on the :class:`NullMetrics` singleton
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = metric_key(name, labels)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = Counter(key, self._lock)
+                self._counters[key] = instrument
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = metric_key(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = Gauge(key, self._lock)
+                self._gauges[key] = instrument
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = Histogram(key, self._lock, buckets)
+            self._histograms[key] = instrument
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Everything recorded so far, as plain JSON-serializable data."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: counters[k].value for k in sorted(counters)},
+            "gauges": {k: gauges[k].value for k in sorted(gauges)},
+            "histograms": {
+                k: histograms[k].snapshot() for k in sorted(histograms)
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    key = "null"
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics(MetricsRegistry):
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_LATENCY_BUCKETS, **labels):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: the process-wide disabled registry; hot paths compare against it
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,239 @@
+"""Aggregate a JSON-lines trace into the paper's per-phase table shape.
+
+``python -m repro.obs report trace.jsonl`` reads the event records a
+:class:`~repro.obs.tracer.JsonlExporter` appended and folds every
+``commit.end`` into one row per phase — commit count, bytes, latency
+percentiles, strategy-tier hit counts, fallback/retry/escalation totals —
+mirroring the per-phase cost tables of the paper's Figures 7-11. A torn
+final line (crash mid-append) and non-JSON lines are skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+#: phase label used for commits that carried no phase tag
+UNLABELED = "(unlabeled)"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if 0 < abs(value) < 0.1:
+            return f"{value:.4f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    """Fixed-width text table (mirrors ``repro.bench.reporting``, which
+    this module must not import: bench pulls in the runtime, and the
+    runtime's hot paths import :mod:`repro.obs`)."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def read_trace(path: str) -> List[dict]:
+    """Parse one JSON-lines trace; skips blank, torn, or non-JSON lines."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a crashed writer
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Exact linear-interpolation quantile of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass
+class PhaseAggregate:
+    """Everything the trace said about one phase's commits."""
+
+    phase: str
+    commits: int = 0
+    bytes: int = 0
+    wall_seconds: List[float] = field(default_factory=list)
+    strategies: Dict[str, int] = field(default_factory=dict)
+    kinds: Dict[str, int] = field(default_factory=dict)
+    fallbacks: int = 0
+    retries: int = 0
+    escalations: int = 0
+    compactions: int = 0
+    dirty_objects: int = 0
+
+    def add_commit(self, record: dict) -> None:
+        self.commits += 1
+        self.bytes += int(record.get("bytes", 0))
+        wall = record.get("wall_seconds")
+        if wall is not None:
+            self.wall_seconds.append(float(wall))
+        strategy = record.get("strategy", "?")
+        self.strategies[strategy] = self.strategies.get(strategy, 0) + 1
+        kind = record.get("kind", "?")
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+        self.retries += int(record.get("retries", 0))
+        if record.get("degraded"):
+            self.fallbacks += 1
+        if record.get("escalated"):
+            self.escalations += 1
+        if record.get("compacted"):
+            self.compactions += 1
+        self.dirty_objects += int(record.get("dirty_objects", 0))
+
+    def to_dict(self) -> dict:
+        walls = sorted(self.wall_seconds)
+        return {
+            "phase": self.phase,
+            "commits": self.commits,
+            "bytes": self.bytes,
+            "wall_p50": _percentile(walls, 0.5),
+            "wall_p90": _percentile(walls, 0.9),
+            "wall_p99": _percentile(walls, 0.99),
+            "wall_max": walls[-1] if walls else 0.0,
+            "wall_total": sum(walls),
+            "strategies": dict(sorted(self.strategies.items())),
+            "kinds": dict(sorted(self.kinds.items())),
+            "fallbacks": self.fallbacks,
+            "retries": self.retries,
+            "escalations": self.escalations,
+            "compactions": self.compactions,
+            "dirty_objects": self.dirty_objects,
+        }
+
+
+@dataclass
+class TraceReport:
+    """The aggregate of one trace file."""
+
+    path: str
+    records: int = 0
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    phases: Dict[str, PhaseAggregate] = field(default_factory=dict)
+    writer_drains: int = 0
+    fsck_repairs: int = 0
+    exporter_note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "records": self.records,
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "phases": {
+                name: agg.to_dict() for name, agg in sorted(self.phases.items())
+            },
+            "writer_drains": self.writer_drains,
+            "fsck_repairs": self.fsck_repairs,
+        }
+
+    def render(self) -> str:
+        headers = (
+            "phase",
+            "commits",
+            "bytes",
+            "p50 (s)",
+            "p90 (s)",
+            "p99 (s)",
+            "total (s)",
+            "strategies",
+            "fallbacks",
+            "retries",
+        )
+        rows = []
+        for name in sorted(self.phases):
+            data = self.phases[name].to_dict()
+            strategies = " ".join(
+                f"{strategy}:{count}"
+                for strategy, count in data["strategies"].items()
+            )
+            rows.append(
+                (
+                    name,
+                    data["commits"],
+                    data["bytes"],
+                    data["wall_p50"],
+                    data["wall_p90"],
+                    data["wall_p99"],
+                    data["wall_total"],
+                    strategies,
+                    data["fallbacks"],
+                    data["retries"],
+                )
+            )
+        lines = [f"== trace report: {self.path} =="]
+        lines.append(format_table(headers, rows))
+        lines.append(
+            f"  {self.records} record(s); "
+            f"{self.writer_drains} writer drain(s); "
+            f"{self.fsck_repairs} fsck repair(s)"
+        )
+        counts = ", ".join(
+            f"{etype}={count}"
+            for etype, count in sorted(self.event_counts.items())
+        )
+        lines.append(f"  events: {counts}")
+        return "\n".join(lines)
+
+
+def aggregate(records: List[dict], path: str = "<trace>") -> TraceReport:
+    """Fold parsed trace records into a :class:`TraceReport`."""
+    report = TraceReport(path=path, records=len(records))
+    for record in records:
+        etype = record.get("type", "?")
+        report.event_counts[etype] = report.event_counts.get(etype, 0) + 1
+        if etype == "commit.end":
+            phase = record.get("phase") or UNLABELED
+            agg = report.phases.get(phase)
+            if agg is None:
+                agg = PhaseAggregate(phase)
+                report.phases[phase] = agg
+            agg.add_commit(record)
+        elif etype == "writer.drain":
+            report.writer_drains += 1
+        elif etype == "fsck.repair":
+            report.fsck_repairs += 1
+    return report
+
+
+def report_file(path: str) -> TraceReport:
+    """Read and aggregate one trace file."""
+    return aggregate(read_trace(path), path=path)
+
+
+def save_json(report: TraceReport, path: Optional[str] = None) -> str:
+    """Serialize the report; write to ``path`` when given."""
+    text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text

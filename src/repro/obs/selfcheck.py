@@ -1,0 +1,89 @@
+"""The observability layer's own lint target.
+
+An instrumented session is still a session: the phases it runs between
+traced commits must only modify the positions their patterns declare —
+tracing must never change what gets checkpointed. This module ships a
+probe structure modeling a workload whose hot phase bumps a counter while
+its (quiescent) trace-configuration subtree is skipped by specialization,
+declared via ``LINT_TARGETS``/``LINT_PROGRAMS`` so ``python -m
+repro.lint`` (which defaults to the whole ``repro`` package) runs the
+effect analysis, the soundness diff, and the residual verifier over the
+observability layer's reference usage.
+"""
+
+from __future__ import annotations
+
+from repro.core.checkpointable import Checkpointable
+from repro.core.fields import child, scalar
+from repro.lint.targets import LintTarget, ProgramTarget
+from repro.spec.modpattern import ModificationPattern
+from repro.spec.shape import Shape
+
+
+class TracedCounter(Checkpointable):
+    """The one position the traced phase is allowed to touch."""
+
+    commits = scalar("int")
+    bytes_written = scalar("int")
+
+
+class TraceConfig(Checkpointable):
+    """Quiescent during the traced phase: specialization skips it."""
+
+    exporter = scalar("str")
+    flush_every = scalar("int")
+
+
+class TracedRoot(Checkpointable):
+    counter = child(TracedCounter)
+    config = child(TraceConfig)
+
+
+def traced_prototype() -> TracedRoot:
+    return TracedRoot(
+        counter=TracedCounter(commits=0, bytes_written=0),
+        config=TraceConfig(exporter="jsonl", flush_every=1),
+    )
+
+
+TRACED_SHAPE = Shape.of(traced_prototype())
+
+#: the traced phase's promise: only the counter subtree may be dirtied
+TRACED_PATTERN = ModificationPattern.only(TRACED_SHAPE, [("counter",)])
+
+
+def traced_phase(root: TracedRoot) -> None:
+    """The work an instrumented session runs between traced commits."""
+    root.counter.commits += 1
+    root.counter.bytes_written += 64
+
+
+def traced_driver(root: TracedRoot, session) -> None:
+    """Reference whole-program driver for the instrumented session flow."""
+    session.base(roots=[root])
+    root.counter.commits += 1
+    root.counter.bytes_written += 64
+    session.commit(phase="record", roots=[root])
+
+
+LINT_TARGETS = [
+    LintTarget(
+        "obs-traced-probe",
+        shape=TRACED_SHAPE,
+        phases=[traced_phase],
+        pattern=TRACED_PATTERN,
+        roots=["root"],
+    ),
+]
+
+LINT_PROGRAMS = [
+    ProgramTarget(
+        "obs-traced-probe-driver",
+        shape=TRACED_SHAPE,
+        driver=traced_driver,
+        roots=["root"],
+        declared={
+            "record": ModificationPattern.only(TRACED_SHAPE, [("counter",)]),
+        },
+    ),
+]

@@ -1,0 +1,212 @@
+"""Structured tracing for the checkpoint pipeline.
+
+A :class:`Tracer` turns the runtime's interesting moments — commit start
+and end, strategy fallback, retry attempts, compaction, background-writer
+drains, fsck repairs — into typed event records delivered to pluggable
+:class:`Exporter` targets. Records are flat dictionaries::
+
+    {"ts": 12.345678901, "seq": 17, "type": "commit.end",
+     "phase": "BTA", "kind": "incremental", "strategy": "specialized:...",
+     "wall_seconds": 0.00042, "bytes": 1337, ...}
+
+``ts`` is a ``perf_counter`` timestamp (monotonic within one process,
+meaningless across processes), ``seq`` a per-tracer sequence number that
+makes ordering unambiguous even at equal timestamps, and ``type`` the
+event's schema tag (see ``docs/INTERNALS.md`` §7 for the full catalog).
+
+Two invariants the runtime relies on:
+
+- **Exporter failure never fails a commit.** Every export is guarded;
+  a raising exporter only increments :attr:`Tracer.dropped`.
+- **Disabled tracing is free.** The disabled tracer is the shared
+  :data:`NULL_TRACER` singleton; instrumented code checks
+  ``tracer.enabled`` before allocating records or reading the clock, so
+  an uninstrumented commit performs no extra timer calls and no
+  allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Iterable, List, Optional
+
+
+class Exporter:
+    """One delivery target for trace records."""
+
+    def export(self, record: dict) -> None:
+        """Deliver one event record (must not retain and mutate it)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+
+class MemoryExporter(Exporter):
+    """Collect records in memory (tests, in-process aggregation)."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def export(self, record: dict) -> None:
+        self.records.append(record)
+
+    def of_type(self, etype: str) -> List[dict]:
+        """The collected records with ``type == etype``, in order."""
+        return [r for r in self.records if r.get("type") == etype]
+
+
+class JsonlExporter(Exporter):
+    """Append-only JSON-lines trace file.
+
+    One compact JSON object per line, flushed per record so a crashed
+    process leaves at worst one torn final line (the reader skips it).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def export(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class Tracer:
+    """Emit typed event records to every attached exporter.
+
+    Thread-safe: the sequence counter and the export fan-out are guarded,
+    because the background writer's drain thread traces concurrently with
+    the committing thread.
+    """
+
+    #: False only on the :class:`NullTracer` singleton
+    enabled = True
+
+    def __init__(
+        self,
+        exporters: Iterable[Exporter] = (),
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.exporters: List[Exporter] = list(exporters)
+        self.clock = clock
+        #: records lost to raising exporters (tracing never fails a commit)
+        self.dropped = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def event(self, etype: str, **fields) -> None:
+        """Emit one event record of type ``etype``."""
+        record = dict(fields)
+        record["type"] = etype
+        record["ts"] = self.clock()
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            for exporter in self.exporters:
+                try:
+                    exporter.export(record)
+                except Exception:
+                    # An observability failure must never become a
+                    # checkpointing failure; count it and move on.
+                    self.dropped += 1
+
+    def span(self, etype: str, **fields) -> "Span":
+        """A context manager emitting ``<etype>.start`` / ``<etype>.end``.
+
+        The end record carries ``wall_seconds`` plus any fields added via
+        :meth:`Span.add` while the span was open.
+        """
+        return Span(self, etype, fields)
+
+    def close(self) -> None:
+        """Close every exporter (errors are swallowed and counted)."""
+        for exporter in self.exporters:
+            try:
+                exporter.close()
+            except Exception:
+                self.dropped += 1
+
+
+class Span:
+    """One timed region: start/end event pair sharing a field set."""
+
+    __slots__ = ("tracer", "etype", "fields", "start")
+
+    def __init__(self, tracer: Tracer, etype: str, fields: dict) -> None:
+        self.tracer = tracer
+        self.etype = etype
+        self.fields = fields
+        self.start: Optional[float] = None
+
+    def add(self, **fields) -> None:
+        """Attach fields to the eventual end record."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        self.start = self.tracer.clock()
+        self.tracer.event(f"{self.etype}.start", **self.fields)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = self.tracer.clock() - (self.start or 0.0)
+        fields = dict(self.fields)
+        fields["wall_seconds"] = wall
+        if exc_type is not None:
+            fields["error"] = f"{exc_type.__name__}: {exc}"
+        self.tracer.event(f"{self.etype}.end", **fields)
+
+
+class _NullSpan:
+    """The shared no-op span: nothing is timed, nothing is allocated."""
+
+    __slots__ = ()
+
+    def add(self, **fields) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def event(self, etype: str, **fields) -> None:
+        pass
+
+    def span(self, etype: str, **fields):
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+
+#: the process-wide disabled tracer; instrumented code compares against it
+NULL_TRACER = NullTracer()
+
+
+def tracer_or_null(tracer: Optional[Tracer]) -> Tracer:
+    """Normalize an optional tracer argument to a usable tracer."""
+    return tracer if tracer is not None else NULL_TRACER

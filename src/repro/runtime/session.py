@@ -36,7 +36,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.core.checkpoint import CheckingCheckpoint, FullCheckpoint
+from repro.core.checkpoint import (
+    CheckingCheckpoint,
+    FullCheckpoint,
+    restore_flags,
+    set_all_flags,
+    snapshot_flags,
+)
 from repro.core.checkpointable import Checkpointable
 from repro.core.errors import CheckpointError, StorageError
 from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
@@ -44,6 +50,12 @@ from repro.core.restore import ObjectTable
 from repro.core.retry import RetryPolicy
 from repro.core.storage import FULL, INCREMENTAL, _KIND_CODES
 from repro.core.streams import DataOutputStream
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.policy import EpochPolicy
 from repro.runtime.sink import Sink, sink_for
 from repro.runtime.strategy import (
@@ -106,6 +118,10 @@ class CommitReceipt:
     degraded: bool = False
     #: this epoch was escalated to a full checkpoint to repair the chain
     escalated: bool = False
+    #: wall time the failed specialized attempt consumed before raising
+    failed_wall_seconds: Optional[float] = None
+    #: wall time of the checked-driver re-record after the fallback
+    fallback_wall_seconds: Optional[float] = None
     #: human-readable record of every degradation/escalation/retry event
     events: List[str] = field(default_factory=list)
 
@@ -159,6 +175,16 @@ class CheckpointSession:
     class_registry:
         The :class:`~repro.core.registry.ClassRegistry` used for recovery
         and compaction (default: the process-wide registry).
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`: every commit emits
+        typed ``commit.start``/``commit.end`` (plus fallback, compaction,
+        retry) events through it, and the sink is instrumented with it
+        too. Default: the shared no-op :data:`~repro.obs.tracer.NULL_TRACER`
+        — the hot path then performs no extra timer calls or allocation.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` recording
+        per-phase commit latency histograms, byte counters, strategy-tier
+        hit counts, and retry/degradation totals.
     """
 
     def __init__(
@@ -171,10 +197,15 @@ class CheckpointSession:
         sink=None,
         retry: Optional[RetryPolicy] = None,
         class_registry: Optional[ClassRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.registry = registry or DEFAULT_STRATEGIES
         self.policy = policy or EpochPolicy.delta_only()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.sink: Sink = sink_for(sink, retry=retry)
+        self.sink.instrument(self.tracer, self.metrics)
         self.class_registry = class_registry or DEFAULT_REGISTRY
         self._roots = _roots_provider(roots)
         self._default = self.registry.resolve(strategy)
@@ -352,22 +383,44 @@ class CheckpointSession:
     ) -> CommitResult:
         """Run the phase's strategy without persisting or counting.
 
-        Used for pure measurement — e.g. the paper's traversal-cost runs,
-        which repeat a checkpoint immediately so nothing is modified.
+        Used for pure measurement — e.g. the paper's traversal-cost runs.
+        The strategy's ``record`` pass clears modification flags as a
+        side effect, so the flags are snapshotted before the run and
+        reinstated after it: a real :meth:`commit` following a
+        :meth:`measure` observes exactly the delta it would have without
+        the measurement.
         """
         strategy = self.strategy_for(phase)
+        tracer = self.tracer
         out = DataOutputStream()
         use = self._resolve_roots(roots)
+        saved = snapshot_flags(use)
         start = time.perf_counter()
-        strategy.write(use, out)
+        try:
+            strategy.write(use, out)
+        finally:
+            restore_flags(saved)
         wall = time.perf_counter() - start
-        return CommitResult(
+        result = CommitResult(
             kind=INCREMENTAL,
             data=out.getvalue(),
             wall_seconds=wall,
             strategy=strategy.name,
             phase=phase,
         )
+        if tracer.enabled:
+            tracer.event(
+                "measure",
+                phase=phase,
+                strategy=strategy.name,
+                wall_seconds=wall,
+                bytes=result.size,
+            )
+        if self.metrics.enabled:
+            self.metrics.histogram(
+                "measure_seconds", phase=phase or ""
+            ).observe(wall)
+        return result
 
     def commit_bytes(
         self,
@@ -379,22 +432,63 @@ class CheckpointSession:
         """Commit pre-produced checkpoint bytes (e.g. from a metered run).
 
         The bytes enter the same sink/policy path as a normal commit, so
-        instrumented producers still get epoch accounting and automatic
-        compaction.
+        instrumented producers still get epoch accounting, automatic
+        compaction — and the same chain-repair bookkeeping: a ``FULL``
+        epoch committed here clears a pending escalation exactly like a
+        full-driver commit does, and a pending escalation this commit
+        cannot honor (the bytes are already produced, and incremental)
+        stays pending and is noted on the receipt.
         """
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
         self._ensure_open()
+        receipt = CommitReceipt()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "commit.start", phase=phase, kind=kind, strategy="bytes"
+            )
+        self._settle_escalation(receipt, repaired=(kind == FULL))
         result = CommitResult(
             kind=kind,
             data=bytes(data),
             wall_seconds=wall_seconds,
             strategy="bytes",
             phase=phase,
-            receipt=CommitReceipt(),
+            receipt=receipt,
         )
         self._persist(result)
         return result
+
+    def _settle_escalation(
+        self,
+        receipt: CommitReceipt,
+        repaired: bool,
+        pending_before: bool = True,
+    ) -> None:
+        """Chain-repair bookkeeping shared by every commit path.
+
+        A pending escalation (a specialized commit degraded earlier, so
+        the delta chain needs a fresh base) is cleared by any commit that
+        persists genuinely full content, and explicitly kept — with a
+        receipt note, never silently — by one that does not.
+        ``pending_before`` distinguishes an escalation this very commit
+        raised (its receipt already says "degraded") from one inherited
+        from an earlier epoch.
+        """
+        if not self._escalate_full:
+            return
+        if repaired:
+            self._escalate_full = False
+            if not receipt.escalated:
+                receipt.escalated = True
+                receipt.events.append(
+                    "pending full-checkpoint escalation cleared by this "
+                    "full epoch"
+                )
+        elif pending_before:
+            receipt.events.append(
+                "full-checkpoint escalation still pending after this commit"
+            )
 
     @staticmethod
     def _can_fall_back(strategy: Strategy) -> bool:
@@ -407,6 +501,14 @@ class CheckpointSession:
         """
         return not isinstance(strategy, (DriverStrategy, NullStrategy))
 
+    @staticmethod
+    def _is_full_driver(strategy: Strategy) -> bool:
+        """Whether ``strategy`` records every object (a chain-repairing full)."""
+        return (
+            isinstance(strategy, DriverStrategy)
+            and strategy.driver_factory is FullCheckpoint
+        )
+
     def _commit(
         self,
         strategy: Strategy,
@@ -416,10 +518,20 @@ class CheckpointSession:
         escalated: bool = False,
     ) -> CommitResult:
         self._ensure_open()
+        tracer = self.tracer
+        pending_before = self._escalate_full
         receipt = CommitReceipt(escalated=escalated)
         if escalated:
             receipt.events.append(
                 "escalated to full checkpoint after a degraded commit"
+            )
+        if tracer.enabled:
+            tracer.event(
+                "commit.start",
+                phase=phase,
+                kind=kind,
+                strategy=strategy.name,
+                escalated=escalated,
             )
         out = DataOutputStream()
         use = self._resolve_roots(roots)
@@ -427,15 +539,20 @@ class CheckpointSession:
         try:
             strategy.write(use, out)
         except Exception as exc:
+            failed_wall = time.perf_counter() - start
             if not self._can_fall_back(strategy):
                 raise
             # A specialized routine died mid-commit. Its partial run may
             # already have recorded-and-cleared some modification flags,
-            # so this delta can under-report; re-record what is still
-            # flagged with the generic checked driver on a fresh stream,
-            # and escalate the next epoch to a full checkpoint so the
-            # chain regains a base that assumes nothing.
+            # so an incremental re-record of what is *still* flagged would
+            # under-report and recovery would see stale data until the
+            # escalated full lands. Instead, re-record *everything* as a
+            # full epoch with the generic checked driver (the failure path
+            # is rare; the extra traversal never touches a clean commit),
+            # and still escalate the next epoch so the chain regains a
+            # base produced by an untainted run.
             receipt.degraded = True
+            receipt.failed_wall_seconds = failed_wall
             receipt.events.append(
                 f"strategy {strategy.name!r} raised "
                 f"{type(exc).__name__}: {exc}; fell back to the generic "
@@ -443,13 +560,38 @@ class CheckpointSession:
             )
             self.degradations += 1
             self._escalate_full = True
+            if tracer.enabled:
+                tracer.event(
+                    "commit.fallback",
+                    phase=phase,
+                    strategy=strategy.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                    failed_wall_seconds=failed_wall,
+                )
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "fallbacks_total", strategy=strategy.name
+                ).inc()
             out = DataOutputStream()
+            fallback_start = time.perf_counter()
+            for fallback_root in use:
+                set_all_flags(fallback_root)
             _CHECKED_DRIVER.write(use, out)
+            receipt.fallback_wall_seconds = (
+                time.perf_counter() - fallback_start
+            )
             strategy = _CHECKED_DRIVER
+            kind = FULL
+            receipt.events.append(
+                "re-recorded every object as a full epoch (the failed "
+                "routine may have cleared modification flags mid-run)"
+            )
         wall = time.perf_counter() - start
-        if kind == FULL and strategy is _FULL_DRIVER:
-            # A true full epoch repairs the chain: nothing to escalate.
-            self._escalate_full = False
+        self._settle_escalation(
+            receipt,
+            repaired=(kind == FULL and self._is_full_driver(strategy)),
+            pending_before=pending_before,
+        )
         result = CommitResult(
             kind=kind,
             data=out.getvalue(),
@@ -486,6 +628,55 @@ class CheckpointSession:
             self.compact()
             result.compacted = True
         self.history.append(result)
+        self._record_commit(result)
+
+    def _record_commit(self, result: CommitResult) -> None:
+        """Emit the commit's trace record and metrics (observers only)."""
+        receipt = result.receipt
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "commit.end",
+                phase=result.phase,
+                kind=result.kind,
+                strategy=result.strategy,
+                wall_seconds=result.wall_seconds,
+                bytes=result.size,
+                epoch_index=result.epoch_index,
+                compacted=result.compacted,
+                durability=receipt.durability if receipt else None,
+                retries=receipt.retries if receipt else 0,
+                degraded=bool(receipt and receipt.degraded),
+                escalated=bool(receipt and receipt.escalated),
+                failed_wall_seconds=(
+                    receipt.failed_wall_seconds if receipt else None
+                ),
+                fallback_wall_seconds=(
+                    receipt.fallback_wall_seconds if receipt else None
+                ),
+            )
+        metrics = self.metrics
+        if metrics.enabled:
+            phase = result.phase or ""
+            metrics.counter(
+                "commits_total", phase=phase, kind=result.kind
+            ).inc()
+            metrics.counter("strategy_hits_total", strategy=result.strategy).inc()
+            metrics.counter("bytes_written_total", phase=phase).inc(result.size)
+            metrics.histogram("commit_seconds", phase=phase).observe(
+                result.wall_seconds
+            )
+            metrics.histogram(
+                "commit_bytes", buckets=DEFAULT_SIZE_BUCKETS, phase=phase
+            ).observe(result.size)
+            if receipt is not None:
+                if receipt.retries:
+                    metrics.counter("retries_total").inc(receipt.retries)
+                if receipt.degraded:
+                    metrics.counter("degradations_total").inc()
+                if receipt.escalated:
+                    metrics.counter("escalations_total").inc()
+            metrics.gauge("deltas_since_full").set(self.deltas_since_full)
 
     def _resolve_roots(
         self, roots: Optional[RootsLike]
@@ -502,11 +693,21 @@ class CheckpointSession:
 
     def compact(self) -> int:
         """Fold the sink's recovery line into a fresh full epoch."""
+        tracer = self.tracer
+        start = time.perf_counter() if tracer.enabled else 0.0
         index = self.sink.compact(
             self.class_registry, keep_history=self.policy.keep_history
         )
         self.deltas_since_full = 0
         self.compactions += 1
+        if tracer.enabled:
+            tracer.event(
+                "compaction",
+                epoch_index=index,
+                wall_seconds=time.perf_counter() - start,
+            )
+        if self.metrics.enabled:
+            self.metrics.counter("compactions_total").inc()
         return index
 
     def recover(self) -> ObjectTable:

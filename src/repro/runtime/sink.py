@@ -22,6 +22,7 @@ a directory path, or a sink — into a sink.
 from __future__ import annotations
 
 import os
+import time
 from typing import List, Optional
 
 from repro.core.errors import StorageError
@@ -36,6 +37,8 @@ from repro.core.storage import (
     MemoryStore,
     compact as storage_compact,
 )
+from repro.obs.metrics import NULL_METRICS, DEFAULT_LATENCY_BUCKETS
+from repro.obs.tracer import NULL_TRACER
 
 
 class Sink:
@@ -45,6 +48,21 @@ class Sink:
     can_recover: bool = False
     #: whether :meth:`compact` is meaningful for this sink
     can_compact: bool = False
+    #: observability hooks; the no-op singletons until :meth:`instrument`
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+
+    def instrument(self, tracer, metrics) -> None:
+        """Attach a tracer/metrics pair (a session passes its own down).
+
+        Hooks already set explicitly are kept — only the no-op defaults
+        are replaced, so a sink instrumented at construction time wins
+        over the session-level wiring.
+        """
+        if self.tracer is NULL_TRACER:
+            self.tracer = tracer
+        if self.metrics is NULL_METRICS:
+            self.metrics = metrics
 
     def put(self, kind: str, data: bytes) -> Optional[int]:
         """Accept one epoch; returns its index when the sink assigns one."""
@@ -116,7 +134,28 @@ class StoreSink(Sink):
         #: retry accounting for this sink's puts
         self.retry_stats = RetryStats()
 
+    def instrument(self, tracer, metrics) -> None:
+        super().instrument(tracer, metrics)
+        propagate = getattr(self.store, "instrument", None)
+        if propagate is not None:
+            propagate(self.tracer, self.metrics)
+
     def put(self, kind: str, data: bytes) -> Optional[int]:
+        if not (self.tracer.enabled or self.metrics.enabled):
+            return self._put(kind, data)
+        start = time.perf_counter()
+        index = self._put(kind, data)
+        elapsed = time.perf_counter() - start
+        self.tracer.event(
+            "sink.put", kind=kind, bytes=len(data), index=index,
+            wall_seconds=elapsed,
+        )
+        self.metrics.histogram(
+            "sink_put_seconds", buckets=DEFAULT_LATENCY_BUCKETS
+        ).observe(elapsed)
+        return index
+
+    def _put(self, kind: str, data: bytes) -> Optional[int]:
         if self.retry is None:
             return self.store.append(kind, data)
         return self.retry.run(

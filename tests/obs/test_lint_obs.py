@@ -1,0 +1,54 @@
+"""The observability package must pass the soundness linter (selfcheck)."""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.lint.cli import main
+from repro.obs import selfcheck
+
+
+def _obs_dir() -> str:
+    return str(Path(repro.__file__).parent / "obs")
+
+
+class TestLintOverObs:
+    def test_obs_package_is_clean(self, capsys):
+        assert main([_obs_dir(), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "error" not in out
+        assert "warning" not in out
+
+    def test_traced_probe_is_analyzed(self, capsys):
+        assert main([_obs_dir(), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["targets"] >= 1
+        assert report["counts"]["error"] == 0
+
+    def test_default_paths_cover_the_obs_package(self):
+        from repro.lint.cli import discover
+
+        files = discover([str(Path(repro.__file__).parent)])
+        names = {str(f) for f in files}
+        assert any(
+            "obs" in name and name.endswith("selfcheck.py") for name in names
+        )
+
+
+class TestTracedProbe:
+    def test_probe_phase_conforms_to_its_pattern(self):
+        from repro.core.checkpoint import reset_flags
+
+        root = selfcheck.traced_prototype()
+        reset_flags(root)
+        selfcheck.traced_phase(root)
+        selfcheck.TRACED_PATTERN.validate_against(root)
+
+    def test_probe_driver_runs_against_a_real_session(self):
+        from repro.core.storage import MemoryStore
+        from repro.runtime.session import CheckpointSession
+
+        root = selfcheck.traced_prototype()
+        session = CheckpointSession(roots=[root], sink=MemoryStore())
+        selfcheck.traced_driver(root, session)
+        assert session.commits == 2  # base + the traced record commit

@@ -1,0 +1,145 @@
+"""MetricsRegistry: instrument identity, histogram buckets, percentiles."""
+
+import json
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    metric_key,
+)
+
+
+class TestInstrumentIdentity:
+    def test_same_name_and_labels_return_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", phase="BTA") is registry.counter(
+            "c", phase="BTA"
+        )
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_different_labels_are_different_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", phase="BTA") is not registry.counter(
+            "c", phase="ETA"
+        )
+
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("c", {"b": 1, "a": 2}) == "c{a=2,b=1}"
+        assert metric_key("c", {}) == "c"
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("commits_total")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot()["counters"]["commits_total"] == 5
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3.0)
+        gauge.add(-1.0)
+        assert registry.snapshot()["gauges"]["depth"] == 2.0
+
+
+class TestHistogramBuckets:
+    def test_value_on_the_bound_lands_in_that_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe(1.0)  # == first bound -> bucket 0
+        hist.observe(1.0000001)  # just past -> bucket 1
+        hist.observe(4.0)  # == last bound -> bucket 2
+        assert hist.counts == [1, 1, 1, 0]
+
+    def test_overflow_bucket_catches_values_past_the_last_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.counts == [0, 0, 1]
+        assert hist.max == 100.0
+
+    def test_min_max_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min == 0.5
+        assert hist.max == 3.0
+        assert hist.sum == 5.0
+
+    def test_buckets_are_sorted_on_construction(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(4.0, 1.0, 2.0))
+        assert hist.buckets == (1.0, 2.0, 4.0)
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_has_no_percentiles(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").percentile(0.5) is None
+
+    def test_percentile_interpolates_within_the_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(10.0, 20.0))
+        for _ in range(10):
+            hist.observe(15.0)  # all in bucket (10, 20]
+        p50 = hist.percentile(0.5)
+        assert 10.0 < p50 <= 20.0
+
+    def test_percentile_in_overflow_bucket_reports_the_max(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(7.0)
+        hist.observe(9.0)
+        assert hist.percentile(0.99) == 9.0
+
+    def test_snapshot_reports_p50_p90_p99(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe(0.001)
+        data = registry.snapshot()["histograms"]["h"]
+        for key in ("p50", "p90", "p99"):
+            assert key in data
+            assert data[key] is not None
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c", phase="hot").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.002)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"] == {"c{phase=hot}": 1}
+
+    def test_default_buckets_cover_microseconds_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.0001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 1.0
+
+
+class TestNullMetrics:
+    def test_disabled_registry_is_a_shared_singleton(self):
+        from repro.obs import metrics as module
+
+        assert module.NULL_METRICS is NULL_METRICS
+        assert not NULL_METRICS.enabled
+
+    def test_null_instruments_are_shared_no_ops(self):
+        counter = NULL_METRICS.counter("c", phase="x")
+        gauge = NULL_METRICS.gauge("g")
+        hist = NULL_METRICS.histogram("h")
+        # every identity resolves to the same do-nothing instrument
+        assert counter is gauge is hist
+        counter.inc()
+        gauge.set(3.0)
+        hist.observe(1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

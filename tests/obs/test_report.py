@@ -1,0 +1,158 @@
+"""Trace aggregation: per-phase tables, torn-line tolerance, the CLI."""
+
+import json
+
+from repro.obs.report import (
+    UNLABELED,
+    aggregate,
+    read_trace,
+    report_file,
+    save_json,
+)
+
+
+def _commit(phase, wall, nbytes, **extra):
+    record = {
+        "type": "commit.end",
+        "phase": phase,
+        "wall_seconds": wall,
+        "bytes": nbytes,
+        "kind": "incremental",
+        "strategy": "incremental",
+    }
+    record.update(extra)
+    return record
+
+
+class TestReadTrace:
+    def test_skips_blank_torn_and_non_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "commit.end", "phase": "hot"}\n'
+            "\n"
+            "not json at all\n"
+            '[1, 2, 3]\n'
+            '{"type": "commit.end", "phase": "tail"'  # torn tail, no \n
+        )
+        records = read_trace(str(path))
+        assert len(records) == 1
+        assert records[0]["phase"] == "hot"
+
+
+class TestAggregate:
+    def test_groups_commits_by_phase(self):
+        report = aggregate(
+            [
+                _commit("hot", 0.2, 100),
+                _commit("hot", 0.4, 50),
+                _commit("tail", 0.1, 10),
+            ]
+        )
+        assert set(report.phases) == {"hot", "tail"}
+        hot = report.phases["hot"].to_dict()
+        assert hot["commits"] == 2
+        assert hot["bytes"] == 150
+        assert abs(hot["wall_total"] - 0.6) < 1e-9
+
+    def test_unlabeled_commits_get_the_sentinel_phase(self):
+        report = aggregate([_commit(None, 0.1, 1)])
+        assert list(report.phases) == [UNLABELED]
+
+    def test_counts_fallbacks_retries_escalations(self):
+        report = aggregate(
+            [
+                _commit("hot", 0.1, 1, degraded=True, retries=2),
+                _commit("hot", 0.1, 1, escalated=True, compacted=True),
+            ]
+        )
+        hot = report.phases["hot"].to_dict()
+        assert hot["fallbacks"] == 1
+        assert hot["retries"] == 2
+        assert hot["escalations"] == 1
+        assert hot["compactions"] == 1
+
+    def test_writer_and_fsck_events_are_counted(self):
+        report = aggregate(
+            [
+                {"type": "writer.drain", "kind": "full"},
+                {"type": "writer.drain", "kind": "incremental"},
+                {"type": "fsck.repair", "quarantined": 1},
+            ]
+        )
+        assert report.writer_drains == 2
+        assert report.fsck_repairs == 1
+        assert report.event_counts["writer.drain"] == 2
+
+    def test_percentiles_are_ordered(self):
+        records = [_commit("hot", wall / 100.0, 1) for wall in range(1, 101)]
+        hot = aggregate(records).phases["hot"].to_dict()
+        assert hot["wall_p50"] <= hot["wall_p90"] <= hot["wall_p99"]
+        assert hot["wall_p99"] <= hot["wall_max"] == 1.0
+
+    def test_render_mentions_every_phase(self):
+        report = aggregate([_commit("hot", 0.1, 1), _commit("tail", 0.1, 1)])
+        text = report.render()
+        assert "hot" in text and "tail" in text
+
+
+class TestReportFiles:
+    def test_report_file_and_save_json_round_trip(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with open(trace, "w", encoding="utf-8") as handle:
+            for record in (_commit("hot", 0.2, 64), _commit("hot", 0.1, 32)):
+                handle.write(json.dumps(record) + "\n")
+        report = report_file(str(trace))
+        out = tmp_path / "report.json"
+        save_json(report, str(out))
+        parsed = json.loads(out.read_text())
+        assert parsed["records"] == 2
+        assert parsed["phases"]["hot"]["commits"] == 2
+
+
+class TestCli:
+    def test_report_command_renders_a_trace(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(json.dumps(_commit("hot", 0.1, 10)) + "\n")
+        assert main(["report", str(trace)]) == 0
+        assert "hot" in capsys.readouterr().out
+
+    def test_report_command_fails_on_an_empty_trace(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["report", str(trace)]) == 1
+
+    def test_workload_command_produces_a_parsable_trace(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "workload",
+                    "--structures",
+                    "4",
+                    "--epochs",
+                    "6",
+                    "--out",
+                    str(trace),
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        records = read_trace(str(trace))
+        commits = [r for r in records if r["type"] == "commit.end"]
+        assert len(commits) == 6  # base + 5 steps
+        snapshot = json.loads(metrics.read_text())
+        assert any(
+            key.startswith("commit_seconds") for key in snapshot["histograms"]
+        )
+        assert any(
+            key.startswith("commits_total") for key in snapshot["counters"]
+        )

@@ -1,0 +1,146 @@
+"""Tracer invariants: record shape, exporter failure isolation, null tracer."""
+
+import json
+
+import pytest
+
+from repro.core.storage import MemoryStore
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Exporter,
+    JsonlExporter,
+    MemoryExporter,
+    NullTracer,
+    Tracer,
+    tracer_or_null,
+)
+from repro.runtime.session import CheckpointSession
+from tests.conftest import build_root
+
+
+class _ExplodingExporter(Exporter):
+    def __init__(self, fail_close=False):
+        self.fail_close = fail_close
+
+    def export(self, record):
+        raise RuntimeError("exporter down")
+
+    def close(self):
+        if self.fail_close:
+            raise RuntimeError("close failed")
+
+
+class TestEventRecords:
+    def test_events_carry_type_ts_and_monotonic_seq(self):
+        exporter = MemoryExporter()
+        tracer = Tracer([exporter])
+        tracer.event("a", x=1)
+        tracer.event("b")
+        first, second = exporter.records
+        assert first["type"] == "a" and first["x"] == 1
+        assert second["type"] == "b"
+        assert second["seq"] == first["seq"] + 1
+        assert second["ts"] >= first["ts"]
+
+    def test_span_emits_start_and_end_with_wall_seconds(self):
+        exporter = MemoryExporter()
+        tracer = Tracer([exporter])
+        with tracer.span("phase", phase="SE") as span:
+            span.add(iterations=3)
+        start, end = exporter.records
+        assert start["type"] == "phase.start"
+        assert end["type"] == "phase.end"
+        assert end["iterations"] == 3
+        assert end["wall_seconds"] >= 0.0
+
+    def test_span_records_the_exception(self):
+        exporter = MemoryExporter()
+        tracer = Tracer([exporter])
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        end = exporter.of_type("work.end")[0]
+        assert "ValueError" in end["error"]
+
+
+class TestExporterFailureIsolation:
+    def test_raising_exporter_only_increments_dropped(self):
+        tracer = Tracer([_ExplodingExporter()])
+        tracer.event("a")
+        tracer.event("b")
+        assert tracer.dropped == 2
+
+    def test_one_bad_exporter_does_not_starve_the_others(self):
+        good = MemoryExporter()
+        tracer = Tracer([_ExplodingExporter(), good])
+        tracer.event("a")
+        assert len(good.records) == 1
+        assert tracer.dropped == 1
+
+    def test_exporter_failure_does_not_fail_a_commit(self):
+        tracer = Tracer([_ExplodingExporter()])
+        session = CheckpointSession(
+            roots=build_root(), sink=MemoryStore(), tracer=tracer
+        )
+        result = session.base()
+        assert result.receipt.durability == "durable"
+        assert session.commit().epoch_index == 1
+        assert tracer.dropped > 0
+
+    def test_close_swallows_exporter_close_errors(self):
+        tracer = Tracer([_ExplodingExporter(fail_close=True)])
+        tracer.close()
+        assert tracer.dropped == 1
+
+
+class TestJsonlExporter:
+    def test_round_trip_through_the_reader(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        tracer.event("commit.end", phase="hot", bytes=12)
+        tracer.event("commit.end", phase="tail", bytes=3)
+        tracer.close()
+
+        from repro.obs.report import read_trace
+
+        records = read_trace(path)
+        assert [r["phase"] for r in records] == ["hot", "tail"]
+        assert all(r["type"] == "commit.end" for r in records)
+
+    def test_each_line_is_one_compact_json_object(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        tracer.event("a", n=1)
+        tracer.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["n"] == 1
+
+
+class TestNullTracer:
+    def test_disabled_tracer_is_the_shared_singleton(self):
+        # the acceptance invariant: an uninstrumented session carries the
+        # process-wide no-op tracer, not a fresh instance per session
+        session = CheckpointSession(roots=build_root(), sink=MemoryStore())
+        assert session.tracer is NULL_TRACER
+        assert CheckpointSession().tracer is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_a_shared_no_op(self):
+        span_a = NULL_TRACER.span("x")
+        span_b = NULL_TRACER.span("y", field=1)
+        assert span_a is span_b
+        with span_a as entered:
+            entered.add(anything=True)
+
+    def test_null_tracer_event_allocates_no_records(self):
+        tracer = NullTracer()
+        tracer.event("a", huge_field=object())
+        assert tracer.exporters == []
+        assert tracer.dropped == 0
+
+    def test_tracer_or_null_normalizes_none(self):
+        assert tracer_or_null(None) is NULL_TRACER
+        real = Tracer()
+        assert tracer_or_null(real) is real

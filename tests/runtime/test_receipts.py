@@ -32,12 +32,12 @@ class _BrokenSpecialized(Strategy):
         self.calls = 0
 
     def write(self, roots, out):
-        from repro.core.checkpoint import IncrementalCheckpoint
+        from repro.core.checkpoint import Checkpoint
 
         self.calls += 1
         if self.calls <= self.fail_times:
             if roots:
-                IncrementalCheckpoint(out).checkpoint(roots[0])
+                Checkpoint(out).checkpoint(roots[0])
             raise RuntimeError("specialized routine hit an unproved shape")
 
 
