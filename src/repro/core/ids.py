@@ -34,7 +34,8 @@ class IdAllocator:
     @property
     def last_allocated(self) -> int:
         """The most recently handed-out identifier (``start - 1`` if none)."""
-        return self._last
+        with self._lock:
+            return self._last
 
     def reset(self, start: int = 0) -> None:
         """Restart allocation at ``start``.

@@ -227,6 +227,10 @@ class FileStore(CheckpointStore):
                 handle.write(header)
                 handle.write(payload)
                 handle.flush()
+                # The index counter, the durable file, and the verified-
+                # cache entry must appear atomically or a concurrent
+                # append could reuse the index of a not-yet-durable epoch.
+                # race-ok: fsync under _lock is deliberate (see above)
                 os.fsync(handle.fileno())
             os.replace(tmp_path, path)
             self._next = index + 1
@@ -405,6 +409,10 @@ class BackgroundWriter(CheckpointStore):
         #: retry accounting (count + notes), shared with commit receipts
         self.retry_stats = RetryStats()
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queued)
+        #: guards the failure/degradation state shared between the drain
+        #: thread and caller threads (_error/_failed/_cause/dropped,
+        #: degraded/degradation_events/sync_writes, _closed, obs hooks)
+        self._state_lock = threading.Lock()
         self._error: Optional[BaseException] = None
         self._failed = False
         self._cause: Optional[str] = None
@@ -434,10 +442,11 @@ class BackgroundWriter(CheckpointStore):
         safe: both emit paths tolerate either the old or the new hook, and
         exporter errors never propagate out of the tracer.
         """
-        if self.tracer is NULL_TRACER:
-            self.tracer = tracer
-        if self.metrics is NULL_METRICS:
-            self.metrics = metrics
+        with self._state_lock:
+            if self.tracer is NULL_TRACER:
+                self.tracer = tracer
+            if self.metrics is NULL_METRICS:
+                self.metrics = metrics
 
     # -- writer thread ---------------------------------------------------
 
@@ -458,8 +467,11 @@ class BackgroundWriter(CheckpointStore):
             try:
                 if item is self._STOP:
                     return
-                if self._failed:
-                    self.dropped += 1  # fail-stop: never write past a hole
+                with self._state_lock:
+                    failed = self._failed
+                    if failed:
+                        self.dropped += 1  # fail-stop: no writes past a hole
+                if failed:
                     continue
                 kind, data = item
                 instrumented = self.tracer.enabled or self.metrics.enabled
@@ -467,9 +479,10 @@ class BackgroundWriter(CheckpointStore):
                 try:
                     self._append_backing(kind, data)
                 except BaseException as exc:  # surfaced on the next call
-                    self._error = exc
-                    self._cause = str(exc)
-                    self._failed = True
+                    with self._state_lock:
+                        self._error = exc
+                        self._cause = str(exc)
+                        self._failed = True
                     self.tracer.event(
                         "writer.failed", kind=kind, error=str(exc)
                     )
@@ -511,11 +524,14 @@ class BackgroundWriter(CheckpointStore):
         acknowledged epochs are never dropped just because the thread is
         gone.
         """
-        if not self.degraded:
-            self.degraded = True
-            self.degradation_events.append(
-                "writer thread died; degraded to synchronous writes"
-            )
+        with self._state_lock:
+            first = not self.degraded
+            if first:
+                self.degraded = True
+                self.degradation_events.append(
+                    "writer thread died; degraded to synchronous writes"
+                )
+        if first:
             self.tracer.event(
                 "writer.degraded",
                 reason="writer thread died; degraded to synchronous writes",
@@ -530,28 +546,34 @@ class BackgroundWriter(CheckpointStore):
             try:
                 if item is self._STOP:
                     continue
-                if self._failed:
-                    self.dropped += 1
+                with self._state_lock:
+                    failed = self._failed
+                    if failed:
+                        self.dropped += 1
+                if failed:
                     continue
                 kind, data = item
                 try:
                     self._append_backing(kind, data)
                 except BaseException as exc:
-                    self._error = exc
-                    self._cause = str(exc)
-                    self._failed = True
+                    with self._state_lock:
+                        self._error = exc
+                        self._cause = str(exc)
+                        self._failed = True
             finally:
                 self._queue.task_done()
         if self._queue.unfinished_tasks == 0:
             self._idle.set()
 
     def _check(self) -> None:
-        if self._error is not None:
+        with self._state_lock:
+            if self._error is None:
+                return
             error, self._error = self._error, None
-            raise StorageError(
-                f"background checkpoint write failed: {error}"
-                + self._dropped_suffix()
-            )
+            suffix = self._dropped_suffix()
+        raise StorageError(
+            f"background checkpoint write failed: {error}" + suffix
+        )
 
     def _dropped_suffix(self) -> str:
         if not self.dropped:
@@ -569,25 +591,29 @@ class BackgroundWriter(CheckpointStore):
         raises: the writer is fail-stop. After the writer *thread* dies,
         appends degrade to synchronous writes (and return the real index).
         """
-        if self._failed:
-            self._error = None  # appends report it; no need to re-raise later
-            raise StorageError(
-                f"background checkpoint write failed: {self._cause}"
-                + self._dropped_suffix()
-            )
-        if self._closed:
-            raise StorageError("background writer is closed")
+        with self._state_lock:
+            if self._failed:
+                # appends report it; no need to re-raise later
+                self._error = None
+                raise StorageError(
+                    f"background checkpoint write failed: {self._cause}"
+                    + self._dropped_suffix()
+                )
+            if self._closed:
+                raise StorageError("background writer is closed")
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
         if self._writer_died():
             self._degrade()
             self._check()
-            self.sync_writes += 1
+            with self._state_lock:
+                self.sync_writes += 1
             try:
                 return self._append_backing(kind, bytes(data))
             except BaseException as exc:
-                self._failed = True
-                self._cause = str(exc)
+                with self._state_lock:
+                    self._failed = True
+                    self._cause = str(exc)
                 raise StorageError(
                     f"background checkpoint write failed: {exc}"
                     + self._dropped_suffix()
@@ -629,7 +655,8 @@ class BackgroundWriter(CheckpointStore):
             return
         if self._writer_died():
             self._degrade()
-        self._closed = True
+        with self._state_lock:
+            self._closed = True
         try:
             if not self._idle.wait(timeout):
                 raise StorageError(

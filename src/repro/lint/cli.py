@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.lint [PATH ...] [--format human|json]
-                         [--strict] [--no-import]
+                         [--strict] [--no-import] [--no-races]
 
 With no paths, the installed ``repro`` package itself is linted (which
 covers every built-in module, ``repro.runtime`` included). For every
@@ -17,10 +17,17 @@ covers every built-in module, ``repro.runtime`` included). For every
    declared phases, diffs the declared pattern against the inferred
    effects (unsound → *error*, over-wide → *hint*), and compiles the
    specialization so the residual verifier checks the specializer's
-   output end to end.
+   output end to end;
+4. unless ``--no-races``, runs the interprocedural lockset analysis
+   (:mod:`repro.spec.effects.concurrency`) over all discovered files as
+   one program, emitting the race rule family (``unguarded-shared-write``,
+   ``inconsistent-guard``, ``lock-order-inversion``,
+   ``lock-held-across-blocking-call``, ``flag-mutation-outside-commit``).
 
 Exit status is 1 when any *error* finding was produced (with
-``--strict``, also when any *warning* was), else 0.
+``--strict``, also when any *warning* was), else 0. Finding paths under
+the working directory are reported repo-relative, so JSON artifacts
+diff cleanly across CI runners.
 
 Modules inside a package (an ``__init__.py`` chain) are imported under
 their canonical dotted name, so linting ``src`` never re-executes already
@@ -50,6 +57,7 @@ from repro.core.errors import (
 from repro.lint.findings import (
     Finding,
     exit_code,
+    relativize_findings,
     render_human,
     render_json,
 )
@@ -534,6 +542,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run only the source rules; skip imports and target checks",
     )
+    parser.add_argument(
+        "--no-races",
+        action="store_true",
+        help="skip the static lockset/race analysis pass",
+    )
     options = parser.parse_args(argv)
 
     paths = options.paths
@@ -598,6 +611,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             program_count += 1
             findings.extend(check_program(program, filename))
 
+    if not options.no_races:
+        # lazy import: concurrency pulls in repro.lint.rules, and this
+        # module is imported by the package __init__ — importing it at
+        # the top would cycle
+        from repro.spec.effects.concurrency import analyze_files
+
+        findings.extend(analyze_files(files).findings)
+
+    relativize_findings(findings)
     if options.format == "json":
         print(render_json(findings, len(files), target_count, program_count))
     else:

@@ -27,6 +27,7 @@ Severities
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Dict, List, Optional
 
 #: recognised severities, most severe first
@@ -86,6 +87,30 @@ class Finding:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Finding({self.severity}, {self.code}, {self.location()})"
+
+
+def relativize_findings(
+    findings: List[Finding], base: Optional[str] = None
+) -> List[Finding]:
+    """Rewrite finding paths under ``base`` (default: cwd) as relative.
+
+    CI runners check the repository out under different absolute
+    prefixes; repo-relative paths keep JSON artifacts diffable across
+    runs.  Files outside ``base`` (e.g. tmp-dir fixtures) keep their
+    absolute paths — a relative path that escapes the base would be
+    *less* stable, not more.
+    """
+    root = Path(base) if base is not None else Path.cwd()
+    root = root.resolve()
+    for finding in findings:
+        if not finding.filename:
+            continue
+        try:
+            relative = Path(finding.filename).resolve().relative_to(root)
+        except (ValueError, OSError):
+            continue
+        finding.filename = str(relative)
+    return findings
 
 
 def sort_findings(findings: List[Finding]) -> List[Finding]:

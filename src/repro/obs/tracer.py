@@ -135,7 +135,8 @@ class Tracer:
             try:
                 exporter.close()
             except Exception:
-                self.dropped += 1
+                with self._lock:
+                    self.dropped += 1
 
 
 class Span:

@@ -32,6 +32,7 @@ equivalence test suite pins this for every strategy tier.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -209,6 +210,11 @@ class CheckpointSession:
         self.class_registry = class_registry or DEFAULT_REGISTRY
         self._roots = _roots_provider(roots)
         self._default = self.registry.resolve(strategy)
+        #: guards the session's mutable bookkeeping (counters, history,
+        #: escalation/degradation state, phase bindings) against commits
+        #: racing bind/compact/close from other threads; reentrant so
+        #: the commit path may call :meth:`compact`
+        self._state_lock = threading.RLock()
         self._phase_specs: Dict[str, object] = {}
         self._phase_cache: Dict[str, Strategy] = {}
         self._closed = False
@@ -238,8 +244,9 @@ class CheckpointSession:
         (factories are resolved lazily, on the phase's first commit).
         Rebinding a phase replaces the override.
         """
-        self._phase_specs[phase] = strategy
-        self._phase_cache.pop(phase, None)
+        with self._state_lock:
+            self._phase_specs[phase] = strategy
+            self._phase_cache.pop(phase, None)
 
     def bind_inferred(
         self,
@@ -307,22 +314,24 @@ class CheckpointSession:
         Used when the facts a bound strategy was compiled against change
         (e.g. recovery replaced the structures it was specialized for).
         """
-        if phase is None:
-            self._phase_specs.clear()
-            self._phase_cache.clear()
-        else:
-            self._phase_specs.pop(phase, None)
-            self._phase_cache.pop(phase, None)
+        with self._state_lock:
+            if phase is None:
+                self._phase_specs.clear()
+                self._phase_cache.clear()
+            else:
+                self._phase_specs.pop(phase, None)
+                self._phase_cache.pop(phase, None)
 
     def strategy_for(self, phase: Optional[str] = None) -> Strategy:
         """The strategy a commit tagged ``phase`` would use."""
-        if phase is None or phase not in self._phase_specs:
-            return self._default
-        cached = self._phase_cache.get(phase)
-        if cached is None:
-            cached = self.registry.resolve(self._phase_specs[phase])
-            self._phase_cache[phase] = cached
-        return cached
+        with self._state_lock:
+            if phase is None or phase not in self._phase_specs:
+                return self._default
+            cached = self._phase_cache.get(phase)
+            if cached is None:
+                cached = self.registry.resolve(self._phase_specs[phase])
+                self._phase_cache[phase] = cached
+            return cached
 
     # -- committing ----------------------------------------------------------
 
@@ -478,7 +487,8 @@ class CheckpointSession:
         if not self._escalate_full:
             return
         if repaired:
-            self._escalate_full = False
+            with self._state_lock:
+                self._escalate_full = False
             if not receipt.escalated:
                 receipt.escalated = True
                 receipt.events.append(
@@ -558,8 +568,9 @@ class CheckpointSession:
                 f"{type(exc).__name__}: {exc}; fell back to the generic "
                 "checked driver"
             )
-            self.degradations += 1
-            self._escalate_full = True
+            with self._state_lock:
+                self.degradations += 1
+                self._escalate_full = True
             if tracer.enabled:
                 tracer.event(
                     "commit.fallback",
@@ -615,19 +626,23 @@ class CheckpointSession:
                 if put_retries:
                     receipt.events.extend(stats.events[-put_retries:])
             receipt.durability = self.sink.durability()
-        self.commits += 1
-        self.bytes_written += result.size
-        if result.kind == FULL:
-            self.deltas_since_full = 0
-        else:
-            self.deltas_since_full += 1
-        if (
-            self.sink.can_compact
-            and self.policy.should_compact(self.deltas_since_full)
-        ):
+        with self._state_lock:
+            self.commits += 1
+            self.bytes_written += result.size
+            if result.kind == FULL:
+                self.deltas_since_full = 0
+            else:
+                self.deltas_since_full += 1
+            should_compact = self.sink.can_compact and (
+                self.policy.should_compact(self.deltas_since_full)
+            )
+        # compaction does sink IO: run it outside the bookkeeping lock
+        # (compact() re-enters the lock for its own counter updates)
+        if should_compact:
             self.compact()
             result.compacted = True
-        self.history.append(result)
+        with self._state_lock:
+            self.history.append(result)
         self._record_commit(result)
 
     def _record_commit(self, result: CommitResult) -> None:
@@ -698,8 +713,9 @@ class CheckpointSession:
         index = self.sink.compact(
             self.class_registry, keep_history=self.policy.keep_history
         )
-        self.deltas_since_full = 0
-        self.compactions += 1
+        with self._state_lock:
+            self.deltas_since_full = 0
+            self.compactions += 1
         if tracer.enabled:
             tracer.event(
                 "compaction",
@@ -723,7 +739,8 @@ class CheckpointSession:
         if self._closed:
             return
         self.sink.close()
-        self._closed = True
+        with self._state_lock:
+            self._closed = True
 
     def __enter__(self) -> "CheckpointSession":
         return self

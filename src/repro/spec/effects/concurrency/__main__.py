@@ -1,0 +1,370 @@
+"""CLI for the static lockset analysis and its dynamic crosscheck.
+
+Static mode (the default)::
+
+    python -m repro.spec.effects.concurrency src/repro [--format json]
+
+analyzes the given files/directories as one program and prints the
+findings plus the proven guard table (which lock protects which field).
+Exit status 1 when any error-severity finding is present, 2 on usage
+errors — the same contract as ``python -m repro.lint``.
+
+Crosscheck mode::
+
+    python -m repro.spec.effects.concurrency --crosscheck
+
+validates **static ⊇ dynamic**: it generates the seeded racy fixture
+programs (``tools/make_race_fixture.py``), runs each runnable fixture's
+threaded workload under the dynamic lockset sanitizer
+(:mod:`repro.sanitize`), and also drives the real runtime — store
+drain, ``flush()``/``close()`` racing ``append()``, concurrent session
+commits, id allocation — with the runtime classes woven.  Every
+violation the sanitizer observes must correspond to a field the static
+pass already flagged; a dynamic-only violation means the analysis has a
+false negative and the command exits 1.  (The reverse direction —
+static findings the workload never trips — is expected: static analysis
+over-approximates reachable interleavings.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+from repro.spec.effects.concurrency import analyze_paths
+from repro.spec.effects.concurrency.locks import ConcurrencyReport
+
+
+def _render_human(report: ConcurrencyReport, show_guards: bool) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.severity}: "
+                     f"[{finding.code}] {finding.message}")
+    counts = {}
+    for finding in report.findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    summary = ", ".join(f"{n} {sev}(s)" for sev, n in sorted(counts.items()))
+    lines.append(f"concurrency: {summary or 'no findings'}")
+    if report.suppressed:
+        lines.append(f"{len(report.suppressed)} suppressed site(s):")
+        for site in report.suppressed:
+            lines.append(
+                f"  {site.filename}:{site.lineno}: {site.what}"
+                f" (race-ok: {site.reason})"
+            )
+    if show_guards:
+        lines.append("guard table:")
+        for guard in report.guards:
+            locks = ", ".join(sorted(guard.locks)) or "-"
+            lines.append(
+                f"  {guard.owner}.{guard.field}: {guard.status} [{locks}]"
+            )
+        if report.order_edges:
+            lines.append("lock order (held -> acquired):")
+            for edge in sorted(
+                {(e.held, e.acquired) for e in report.order_edges}
+            ):
+                lines.append(f"  {edge[0]} -> {edge[1]}")
+    return "\n".join(lines)
+
+
+def _render_json(report: ConcurrencyReport) -> str:
+    payload = {
+        "findings": [f.to_dict() for f in report.findings],
+        "guards": [
+            {
+                "class": g.owner,
+                "field": g.field,
+                "status": g.status,
+                "locks": sorted(g.locks),
+            }
+            for g in report.guards
+        ],
+        "order_edges": sorted(
+            {(e.held, e.acquired) for e in report.order_edges}
+        ),
+        "cycles": report.cycles,
+        "suppressed": [
+            {
+                "filename": s.filename,
+                "lineno": s.lineno,
+                "reason": s.reason,
+                "what": s.what,
+            }
+            for s in report.suppressed
+        ],
+        "counts": {
+            sev: sum(1 for f in report.findings if f.severity == sev)
+            for sev in ("error", "warning", "hint")
+        },
+    }
+    return json.dumps(payload, indent=2, default=list)
+
+
+# -- crosscheck -----------------------------------------------------------
+
+
+def _repo_root() -> Optional[Path]:
+    """The repository root, when running from a source checkout."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "tools" / "make_race_fixture.py").is_file():
+            return parent
+    return None
+
+
+def _load_module(path: Path, name: str):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _static_keys(report: ConcurrencyReport) -> Set[Tuple[str, str]]:
+    """Static verdict keys comparable with sanitizer violations."""
+    keys = set(report.unguarded_fields())
+    for finding in report.findings:
+        if finding.code == "lock-order-inversion" and finding.target:
+            keys.add((finding.target, "<lock-order>"))
+    return keys
+
+
+def _dynamic_keys(sanitizer) -> Set[Tuple[str, str]]:
+    keys: Set[Tuple[str, str]] = set()
+    for violation in sanitizer.violations:
+        if violation.rule == "lock-order-inversion":
+            keys.add((violation.cls, "<lock-order>"))
+        else:
+            keys.add((violation.cls, violation.field))
+    return keys
+
+
+def _run_fixture_crosscheck(out, seed: int) -> List[dict]:
+    """Generate + run the racy fixtures; return one row per runnable."""
+    from repro.sanitize import Sanitizer, unweave_all, weave
+
+    root = _repo_root()
+    if root is None:
+        out("crosscheck: tools/make_race_fixture.py not found "
+            "(not a source checkout); skipping fixture workloads")
+        return []
+    make_race_fixture = _load_module(
+        root / "tools" / "make_race_fixture.py", "make_race_fixture"
+    )
+    rows: List[dict] = []
+    with tempfile.TemporaryDirectory(prefix="race-fixtures-") as tmp:
+        manifest = make_race_fixture.generate(tmp, seed=seed)
+        for entry in manifest:
+            path = Path(tmp) / entry["file"]
+            static = _static_keys(analyze_paths([str(path)]))
+            dynamic: Set[Tuple[str, str]] = set()
+            if entry["runnable"]:
+                module = _load_module(path, f"race_fixture_{path.stem}")
+                sanitizer = Sanitizer()
+                woven = [
+                    obj
+                    for obj in vars(module).values()
+                    if isinstance(obj, type)
+                    and obj.__module__ == module.__name__
+                ]
+                try:
+                    for cls in woven:
+                        weave(cls, sanitizer)
+                    module.run()
+                finally:
+                    unweave_all()
+                dynamic = _dynamic_keys(sanitizer)
+            rows.append(
+                {
+                    "workload": f"fixture:{path.stem}",
+                    "static": static,
+                    "dynamic": dynamic,
+                    "escaped": dynamic - static,
+                }
+            )
+    return rows
+
+
+def _runtime_workloads() -> List[Tuple[str, "callable"]]:
+    """Named threaded workloads over the real runtime classes."""
+
+    def store_drain_flush_close():
+        from repro.core.storage import FULL, INCREMENTAL, BackgroundWriter, MemoryStore
+
+        writer = BackgroundWriter(MemoryStore())
+        barrier = threading.Barrier(4)
+
+        def committer(payload: bytes):
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    writer.append(INCREMENTAL, payload)
+                except Exception:
+                    return  # closed under us: the race being probed
+
+        threads = [
+            threading.Thread(target=committer, args=(bytes([i]) * 8,))
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        writer.append(FULL, b"base")
+        writer.flush()
+        for t in threads:
+            t.join()
+        writer.close()
+
+    def concurrent_session_commits():
+        from repro.core.storage import INCREMENTAL, MemoryStore
+        from repro.runtime.session import CheckpointSession
+
+        session = CheckpointSession(sink=MemoryStore())
+        barrier = threading.Barrier(4)
+
+        def committer(tag: int):
+            barrier.wait()
+            for i in range(25):
+                session.commit_bytes(INCREMENTAL, bytes([tag, i % 251]))
+
+        threads = [
+            threading.Thread(target=committer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        session.close()
+
+    def id_allocation():
+        from repro.core.ids import IdAllocator
+
+        allocator = IdAllocator()
+        barrier = threading.Barrier(4)
+
+        def allocate():
+            barrier.wait()
+            for _ in range(200):
+                allocator.allocate()
+                allocator.last_allocated
+
+        threads = [threading.Thread(target=allocate) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    return [
+        ("runtime:store-drain-flush-close", store_drain_flush_close),
+        ("runtime:concurrent-session-commits", concurrent_session_commits),
+        ("runtime:id-allocation", id_allocation),
+    ]
+
+
+def _run_runtime_crosscheck(out, src_static: Set[Tuple[str, str]]) -> List[dict]:
+    from repro.sanitize import Sanitizer, unweave_all, weave_runtime
+
+    rows: List[dict] = []
+    for name, workload in _runtime_workloads():
+        sanitizer = Sanitizer()
+        try:
+            weave_runtime(sanitizer)
+            workload()
+        finally:
+            unweave_all()
+        dynamic = _dynamic_keys(sanitizer)
+        rows.append(
+            {
+                "workload": name,
+                "static": src_static,
+                "dynamic": dynamic,
+                "escaped": dynamic - src_static,
+            }
+        )
+    return rows
+
+
+def _crosscheck(out, seed: int, src_paths: List[str]) -> int:
+    rows = _run_fixture_crosscheck(out, seed)
+    src_report = analyze_paths(src_paths)
+    src_static = _static_keys(src_report)
+    rows.extend(_run_runtime_crosscheck(out, src_static))
+    failures = 0
+    for row in rows:
+        escaped = row["escaped"]
+        verdict = "ok" if not escaped else "DYNAMIC-ONLY"
+        out(
+            f"{row['workload']}: static={len(row['static'])} "
+            f"dynamic={len(row['dynamic'])} -> {verdict}"
+        )
+        for cls, field in sorted(escaped):
+            failures += 1
+            out(
+                f"  escaped the static analysis: {cls}.{field} "
+                "(observed at runtime, never flagged statically)"
+            )
+    out(
+        f"crosscheck: {len(rows)} workload(s), "
+        f"{failures} dynamic-only violation(s) "
+        f"({'static ⊇ dynamic holds' if not failures else 'SOUNDNESS HOLE'})"
+    )
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.spec.effects.concurrency",
+        description="static lockset/race analysis (and its dynamic crosscheck)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
+    parser.add_argument(
+        "--no-guards",
+        action="store_true",
+        help="omit the guard table from human output",
+    )
+    parser.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help="run threaded workloads under the sanitizer and require "
+        "static ⊇ dynamic",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fixture-generation seed for --crosscheck",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or ["src/repro"]
+    if args.crosscheck:
+        return _crosscheck(print, args.seed, paths)
+
+    try:
+        report = analyze_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_render_json(report))
+    else:
+        print(_render_human(report, show_guards=not args.no_guards))
+    has_error = any(f.severity == "error" for f in report.findings)
+    return 1 if has_error else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import os
 
 import pytest
 
@@ -72,6 +73,35 @@ def build_root(with_extra: bool = True, kid_count: int = 2) -> Root:
     for index in range(kid_count):
         root.kids.append(Leaf(value=index, weight=float(index), label=f"k{index}"))
     return root
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizer_gate():
+    """Weave the dynamic lockset sanitizer when ``REPRO_SANITIZE=1``.
+
+    CI runs the threading/stress tests a second time with this set: the
+    whole run then executes with the runtime classes woven, and any
+    race the sanitizer observes fails the session at teardown.  Without
+    the variable this fixture does nothing, preserving the zero-cost
+    default.
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    from repro.sanitize import get_sanitizer, unweave_all, weave_runtime
+
+    sanitizer = get_sanitizer()
+    sanitizer.reset()
+    weave_runtime(sanitizer)
+    try:
+        yield
+    finally:
+        unweave_all()
+    violations = [v.as_dict() for v in sanitizer.violations]
+    assert violations == [], (
+        "dynamic lockset sanitizer observed data races during the run: "
+        f"{violations}"
+    )
 
 
 @pytest.fixture

@@ -97,6 +97,87 @@ class TestInProcess:
         assert first == 0 and second == 0
 
 
+class TestRaceRules:
+    def test_racy_file_fails_the_lint(self, tmp_path, capsys):
+        racy = tmp_path / "racy.py"
+        racy.write_text(
+            "import threading\n"
+            "\n"
+            "class Tally:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+            "        self.count = 0\n"
+            "\n"
+            "    def bump(self):\n"
+            "        self.count += 1\n"
+        )
+        code, out = run_cli(["--no-import", str(racy)], capsys)
+        assert code == 1
+        assert "unguarded-shared-write" in out
+
+    def test_no_races_flag_skips_the_pass(self, tmp_path, capsys):
+        racy = tmp_path / "racy.py"
+        racy.write_text(
+            "import threading\n"
+            "\n"
+            "class Tally:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+            "        self.count = 0\n"
+            "\n"
+            "    def bump(self):\n"
+            "        self.count += 1\n"
+        )
+        code, out = run_cli(["--no-import", "--no-races", str(racy)], capsys)
+        assert code == 0
+        assert "unguarded-shared-write" not in out
+
+    def test_race_ok_annotation_suppresses_with_provenance(
+        self, tmp_path, capsys
+    ):
+        racy = tmp_path / "annotated.py"
+        racy.write_text(
+            "import threading\n"
+            "\n"
+            "class Tally:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+            "        self.count = 0\n"
+            "\n"
+            "    def bump(self):\n"
+            "        self.count += 1  # race-ok: approximate counter\n"
+        )
+        code, out = run_cli(["--no-import", str(racy)], capsys)
+        assert code == 0
+        assert "unguarded-shared-write" not in out
+
+
+class TestRelativePaths:
+    def test_json_paths_under_cwd_are_relative(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        code, out = run_cli(
+            [str(FIXTURES / "unsound_pattern.py"), "--format", "json"],
+            capsys,
+        )
+        assert code == 1
+        data = json.loads(out)
+        files = [f["file"] for f in data["findings"] if f["file"]]
+        assert files, "expected findings with file locations"
+        assert all(not f.startswith("/") for f in files)
+        assert any(f.startswith("tests/lint/fixtures") for f in files)
+
+    def test_paths_outside_cwd_stay_absolute(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        code, out = run_cli(
+            ["--no-import", str(bad), "--format", "json"], capsys
+        )
+        assert code == 1
+        data = json.loads(out)
+        files = [f["file"] for f in data["findings"] if f["file"]]
+        assert files == [str(bad)]
+
+
 class TestSubprocess:
     def _run(self, *args):
         env = dict(os.environ)

@@ -1,0 +1,258 @@
+"""Extraction-layer tests for the static lockset analysis."""
+
+import textwrap
+
+from repro.spec.effects.concurrency.model import (
+    extract_module,
+    race_ok_lines,
+)
+
+
+def extract(source):
+    return extract_module("<test>", textwrap.dedent(source))
+
+
+def one_class(source):
+    module = extract(source)
+    assert module is not None and len(module.classes) == 1
+    return module.classes[0]
+
+
+class TestLockDiscovery:
+    def test_lock_and_rlock_attributes_are_declared_locks(self):
+        cls = one_class(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._mutex = threading.RLock()
+                    self.data = {}
+            """
+        )
+        assert set(cls.locks) == {"_lock", "_mutex"}
+        assert cls.locks["_lock"].name == "Store._lock"
+        assert cls.concurrent
+
+    def test_lock_passed_as_init_parameter_is_discovered(self):
+        # the repro.obs.metrics idiom: Counter(self._lock) shares the
+        # registry's lock
+        cls = one_class(
+            """
+            class Counter:
+                def __init__(self, lock):
+                    self._lock = lock
+                    self.value = 0
+
+                def inc(self):
+                    with self._lock:
+                        self.value += 1
+            """
+        )
+        assert "_lock" in cls.locks
+
+    def test_container_literals_register_constructor_notes(self):
+        cls = one_class(
+            """
+            import threading
+            from typing import List
+
+            class Keeper:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.plain = []
+                    self.typed: List[str] = []
+                    self.table = {}
+            """
+        )
+        assert cls.ctors.get("plain") == "list"
+        assert cls.ctors.get("typed") == "list"
+        assert cls.ctors.get("table") == "dict"
+
+    def test_class_without_locks_or_threads_is_not_concurrent(self):
+        cls = one_class(
+            """
+            class Plain:
+                def __init__(self):
+                    self.x = 0
+
+                def bump(self):
+                    self.x += 1
+            """
+        )
+        assert not cls.concurrent
+
+
+class TestHeldSets:
+    def test_with_block_adds_the_lock_to_held_writes(self):
+        cls = one_class(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def put(self, v):
+                    with self._lock:
+                        self.value = v
+
+                def leak(self, v):
+                    self.value = v
+            """
+        )
+        accesses = {
+            (a.method, a.field): a.held
+            for a in cls.methods["put"].accesses + cls.methods["leak"].accesses
+            if a.kind == "write"
+        }
+        assert accesses[("put", "value")] == frozenset({"_lock"})
+        assert accesses[("leak", "value")] == frozenset()
+
+    def test_explicit_acquire_release_tracks_the_span(self):
+        cls = one_class(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.inside = 0
+                    self.outside = 0
+
+                def update(self):
+                    self._lock.acquire()
+                    self.inside = 1
+                    self._lock.release()
+                    self.outside = 1
+            """
+        )
+        held = {
+            a.field: a.held
+            for a in cls.methods["update"].accesses
+            if a.kind == "write"
+        }
+        assert held["inside"] == frozenset({"_lock"})
+        assert held["outside"] == frozenset()
+
+    def test_thread_target_spawn_marks_the_entry_point(self):
+        cls = one_class(
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self.jobs = 0
+                    self._thread = threading.Thread(target=self._run)
+
+                def _run(self):
+                    self.jobs += 1
+            """
+        )
+        assert "_run" in cls.thread_entries
+        assert cls.concurrent
+
+
+class TestSuppression:
+    def test_race_ok_lines_found_by_tokenization(self):
+        lines = race_ok_lines(
+            "x = 1  # race-ok: benign\n"
+            "s = '# race-ok: not me, I am a string'\n"
+            "# race-ok\n"
+        )
+        assert lines == {1: "benign", 3: "unspecified"}
+
+    def test_trailing_annotation_suppresses_the_write(self):
+        cls = one_class(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def leak(self):
+                    self.value = 1  # race-ok: monotonic flag, torn reads fine
+            """
+        )
+        writes = [
+            a for a in cls.methods["leak"].accesses if a.kind == "write"
+        ]
+        assert writes == []
+
+    def test_annotation_on_the_line_above_suppresses_too(self):
+        module = extract(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def leak(self):
+                    # race-ok: checked elsewhere
+                    self.value = 1
+            """
+        )
+        cls = module.classes[0]
+        writes = [
+            a for a in cls.methods["leak"].accesses if a.kind == "write"
+        ]
+        assert writes == []
+        # the suppression is recorded with provenance, never silent
+        assert len(module.suppressed) == 1
+        assert module.suppressed[0].reason == "checked elsewhere"
+
+
+class TestConstructionOnly:
+    def test_helpers_called_only_from_init_are_construction_only(self):
+        cls = one_class(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._load()
+
+                def _load(self):
+                    self.cache = {}
+
+                def mutate(self):
+                    with self._lock:
+                        self.cache = {}
+            """
+        )
+        assert cls.construction_only() == {"_load"}
+
+
+class TestMutatorCalls:
+    def test_container_mutator_is_a_write_only_for_known_containers(self):
+        cls = one_class(
+            """
+            import threading
+
+            class Writer:
+                def __init__(self, backing):
+                    self._lock = threading.Lock()
+                    self.backing = backing
+                    self.events = []
+
+                def log(self, e):
+                    self.events.append(e)
+                    self.backing.append(e)
+            """
+        )
+        written = {
+            a.field
+            for a in cls.methods["log"].accesses
+            if a.kind == "write"
+        }
+        # .append on the list literal counts; on the unknown-typed
+        # collaborator it is a method call, not a container mutation
+        assert "events" in written
+        assert "backing" not in written
