@@ -40,10 +40,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--json-dir",
+        nargs="?",
         default=None,
+        const=".",
         metavar="DIR",
         help="also write each result as machine-readable BENCH_<id>.json "
-        "under DIR",
+        "under DIR (bare --json-dir writes to the repository root, i.e. "
+        "the current directory)",
     )
     args = parser.parse_args(argv)
 

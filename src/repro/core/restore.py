@@ -178,6 +178,44 @@ def replay(
     return table
 
 
+def replay_epochs(
+    epochs: Iterable,
+    registry: Optional[ClassRegistry] = None,
+    serial_translation: Optional[Dict[int, int]] = None,
+) -> ObjectTable:
+    """Materialize the state at the end of a resolved base+delta chain.
+
+    The generalization of :func:`replay` the epoch-lineage graph needs:
+    ``epochs`` is any already-resolved chain of epoch records (anything
+    with ``kind`` and ``data`` attributes, e.g. what
+    ``Lineage.chain`` returns for an *arbitrary* epoch) whose first
+    element is a full checkpoint and whose remainder are the
+    incremental deltas down to the target epoch, oldest first.
+    """
+    chain = list(epochs)
+    if not chain:
+        raise RestoreError("cannot replay an empty epoch chain")
+    # Kind literals, not storage constants: importing storage here would
+    # be circular (storage replays through this function).
+    if chain[0].kind != "full":
+        raise RestoreError(
+            f"epoch chain must start at a full checkpoint, got "
+            f"{chain[0].kind!r}"
+        )
+    for epoch in chain[1:]:
+        if epoch.kind != "incremental":
+            raise RestoreError(
+                f"epoch chain continues with {epoch.kind!r} where an "
+                "incremental delta was expected"
+            )
+    return replay(
+        chain[0].data,
+        [epoch.data for epoch in chain[1:]],
+        registry,
+        serial_translation,
+    )
+
+
 # ---------------------------------------------------------------------------
 # State comparison helpers (used heavily by tests)
 # ---------------------------------------------------------------------------

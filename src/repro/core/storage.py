@@ -29,8 +29,15 @@ import zlib
 from typing import Dict, List, NamedTuple, Optional
 
 from repro.core.errors import StorageError
+from repro.core.lineage import (
+    AUTO,
+    MAIN_BRANCH,
+    EpochRef,
+    Lineage,
+    resolve_parent,
+)
 from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
-from repro.core.restore import ObjectTable, apply_incremental, restore_full
+from repro.core.restore import ObjectTable, replay_epochs
 from repro.core.retry import RetryPolicy, RetryStats
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
@@ -40,6 +47,10 @@ INCREMENTAL = "incremental"
 
 _MAGIC = b"RCKP"
 _VERSION = 1
+#: manifest format: 1 = classes only (implied-linear lineage),
+#: 2 = classes + explicit epoch lineage map
+MANIFEST_VERSION = 2
+_SUPPORTED_MANIFESTS = (1, MANIFEST_VERSION)
 _KIND_CODES = {FULL: 0, INCREMENTAL: 1}
 _KIND_NAMES = {0: FULL, 1: INCREMENTAL}
 # Compressed variants share the kind space; readers handle both
@@ -50,44 +61,94 @@ _HEADER = struct.Struct("<4sBBII")  # magic, version, kind, length, crc32
 
 
 class Epoch(NamedTuple):
-    """One stored checkpoint."""
+    """One stored checkpoint, with its place in the lineage graph.
+
+    ``parent`` is the epoch this one's delta applies on top of (``None``
+    for a root epoch); ``branch`` labels its line of descent; ``name``
+    is an optional human-readable pin. Lineage lives *on the epoch
+    record* — there is no separate branch table to keep crash-consistent.
+    """
 
     index: int
     kind: str
     data: bytes
+    parent: Optional[int] = None
+    branch: str = MAIN_BRANCH
+    name: Optional[str] = None
+
+
+def _implied_lineage(index: int) -> dict:
+    """Lineage of an epoch a manifest-v1 store wrote: strictly linear."""
+    return {
+        "parent": index - 1 if index > 0 else None,
+        "branch": MAIN_BRANCH,
+        "kind": None,
+        "name": None,
+    }
 
 
 class CheckpointStore:
     """Interface shared by the in-memory and file-backed stores."""
 
-    def append(self, kind: str, data: bytes) -> int:
-        """Store one checkpoint; returns its epoch index."""
+    def append(
+        self,
+        kind: str,
+        data: bytes,
+        *,
+        parent=AUTO,
+        branch: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Store one checkpoint; returns its epoch index.
+
+        ``parent=AUTO`` (the default) chains the epoch onto the head of
+        ``branch`` (or of the newest epoch's branch), which reproduces
+        the old linear behaviour exactly. An explicit parent index pins
+        the epoch into the graph — the first commit after a session
+        restore or fork does this. ``name`` pins the epoch under a
+        store-unique checkpoint name.
+        """
         raise NotImplementedError
 
     def epochs(self) -> List[Epoch]:
         """All intact epochs, oldest first."""
         raise NotImplementedError
 
-    def recovery_line(self) -> List[Epoch]:
-        """The most recent full checkpoint and every delta after it."""
-        epochs = self.epochs()
-        base_index = None
-        for position, epoch in enumerate(epochs):
-            if epoch.kind == FULL:
-                base_index = position
-        if base_index is None:
-            raise StorageError("no full checkpoint in store; cannot recover")
-        return epochs[base_index:]
+    def lineage(self) -> Lineage:
+        """The epoch graph of everything currently in the store."""
+        return Lineage(self.epochs())
 
-    def recover(self, registry: Optional[ClassRegistry] = None) -> ObjectTable:
-        """Rebuild the object table from the latest recovery line."""
+    def recovery_line(self, at: Optional[EpochRef] = None) -> List[Epoch]:
+        """The base chain of ``at`` (default: the newest epoch).
+
+        For a linear store this is exactly the old "most recent full
+        checkpoint plus every delta after it"; with branches it is the
+        full-base-to-target chain resolved through the lineage graph.
+        """
+        lineage = Lineage(self.epochs())
+        if at is None:
+            at = lineage.newest()
+        return lineage.chain(at)
+
+    def recover(
+        self,
+        registry: Optional[ClassRegistry] = None,
+        at: Optional[EpochRef] = None,
+    ) -> ObjectTable:
+        """Rebuild the object table live at ``at`` (default: newest epoch)."""
         registry = registry or DEFAULT_REGISTRY
         translation = self._serial_translation(registry)
-        line = self.recovery_line()
-        table = restore_full(line[0].data, registry, translation)
-        for epoch in line[1:]:
-            apply_incremental(table, epoch.data, registry, translation)
-        return table
+        return replay_epochs(self.recovery_line(at), registry, translation)
+
+    def materialize(
+        self, target: EpochRef, registry: Optional[ClassRegistry] = None
+    ) -> ObjectTable:
+        """The object table exactly as it was live at ``target``.
+
+        ``target`` is an epoch index or a checkpoint name; the epoch's
+        base chain is resolved through the lineage graph and replayed.
+        """
+        return self.recover(registry, at=target)
 
     def _serial_translation(
         self, registry: ClassRegistry
@@ -109,15 +170,59 @@ class MemoryStore(CheckpointStore):
 
     def __init__(self) -> None:
         self._epochs: List[Epoch] = []
+        # branch -> newest index, name -> index, branch of the newest
+        # epoch; all guarded by _lock alongside the epoch list itself
+        self._branch_tips: Dict[str, int] = {}
+        self._names: Dict[str, int] = {}
+        self._last_branch: Optional[str] = None
         self._lock = threading.Lock()
 
-    def append(self, kind: str, data: bytes) -> int:
+    def append(
+        self,
+        kind: str,
+        data: bytes,
+        *,
+        parent=AUTO,
+        branch: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> int:
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
         with self._lock:
             index = len(self._epochs)
-            self._epochs.append(Epoch(index, kind, bytes(data)))
+            parent, branch = resolve_parent(
+                parent,
+                branch,
+                self._branch_tips,
+                self._branch_of,
+                self._last_branch,
+            )
+            if parent is not None and not 0 <= parent < index:
+                raise StorageError(
+                    f"parent epoch {parent} does not exist in the store"
+                )
+            if name is not None and name in self._names:
+                raise StorageError(
+                    f"checkpoint name {name!r} already pins epoch "
+                    f"{self._names[name]}"
+                )
+            self._epochs.append(
+                Epoch(index, kind, bytes(data), parent, branch, name)
+            )
+            self._branch_tips[branch] = index
+            self._last_branch = branch
+            if name is not None:
+                self._names[name] = index
         return index
+
+    def _branch_of(self, index: int) -> str:
+        # caller holds _lock; a MemoryStore never deletes, so index is
+        # also the list position
+        if not 0 <= index < len(self._epochs):
+            raise StorageError(
+                f"parent epoch {index} does not exist in the store"
+            )
+        return self._epochs[index].branch
 
     def epochs(self) -> List[Epoch]:
         with self._lock:
@@ -151,15 +256,71 @@ class FileStore(CheckpointStore):
         self._verified: Dict[int, tuple] = {}
         #: next epoch index to assign; None until the first append scans
         self._next: Optional[int] = None
-        # Guards ``_verified`` and ``_next``: a BackgroundWriter appends
-        # from its drain thread while the committing thread reads
-        # ``epochs()``; unguarded, the verified-cache dict mutates under
-        # iteration and two appends can claim the same index.
+        # Guards ``_verified``, ``_next`` and the lineage maps: a
+        # BackgroundWriter appends from its drain thread while the
+        # committing thread reads ``epochs()``; unguarded, the verified-
+        # cache dict mutates under iteration and two appends can claim
+        # the same index.
         self._lock = threading.RLock()
         #: orphaned ``*.tmp`` files moved aside by this instance
         self.quarantined: List[str] = []
+        #: index -> {"parent", "branch", "kind", "name"} (manifest v2)
+        self._lineage: Dict[int, dict] = {}
+        self._branch_tips: Dict[str, int] = {}
+        self._names: Dict[str, int] = {}
+        self._last_branch: Optional[str] = None
         os.makedirs(directory, exist_ok=True)
         self._quarantine_orphans()
+        self._load_lineage()
+
+    def _load_lineage(self) -> None:
+        """Load (and prune) the manifest's lineage map.
+
+        A crash between the manifest write and the epoch write leaves a
+        lineage entry with no epoch file; such entries are dropped here
+        (they describe nothing durable). Epoch files with no entry — a
+        manifest-v1 store written before lineage existed — get implied
+        linear lineage when read.
+        """
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return  # fresh store, or damage _serial_translation reports
+        version = manifest.get("format_version")
+        if version not in _SUPPORTED_MANIFESTS:
+            raise StorageError(
+                f"unsupported manifest format_version {version!r} in "
+                f"{self.directory!r} (this build supports "
+                f"{list(_SUPPORTED_MANIFESTS)}); refusing to guess at "
+                "the epoch lineage"
+            )
+        raw = manifest.get("lineage")
+        if not isinstance(raw, dict):
+            raw = {}
+        present = {index for index, _ in self._epoch_files()}
+        for key, entry in raw.items():
+            try:
+                index = int(key)
+            except (TypeError, ValueError):
+                continue
+            if index not in present or not isinstance(entry, dict):
+                continue
+            self._lineage[index] = {
+                "parent": entry.get("parent"),
+                "branch": entry.get("branch") or MAIN_BRANCH,
+                "kind": entry.get("kind"),
+                "name": entry.get("name"),
+            }
+        for index in sorted(present):
+            meta = self._lineage.get(index) or _implied_lineage(index)
+            branch = meta["branch"]
+            tip = self._branch_tips.get(branch)
+            if tip is None or index > tip:
+                self._branch_tips[branch] = index
+            if meta.get("name") is not None:
+                self._names[meta["name"]] = index
+            self._last_branch = branch
 
     # -- paths --------------------------------------------------------------
 
@@ -206,11 +367,50 @@ class FileStore(CheckpointStore):
 
     # -- writing --------------------------------------------------------------
 
-    def append(self, kind: str, data: bytes) -> int:
+    def append(
+        self,
+        kind: str,
+        data: bytes,
+        *,
+        parent=AUTO,
+        branch: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> int:
         if kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
         with self._lock:
             index = self._next_index()
+            # An explicit parent must exist on disk; AUTO-resolved
+            # parents come from the branch-tip map and always do.
+            if parent is not AUTO and parent is not None:
+                if parent not in {i for i, _ in self._epoch_files()}:
+                    raise StorageError(
+                        f"parent epoch {parent} does not exist in the store"
+                    )
+            parent, branch = resolve_parent(
+                parent,
+                branch,
+                self._branch_tips,
+                self._branch_of,
+                self._last_branch,
+            )
+            if name is not None and name in self._names:
+                raise StorageError(
+                    f"checkpoint name {name!r} already pins epoch "
+                    f"{self._names[name]}"
+                )
+            entry = {
+                "parent": parent,
+                "branch": branch,
+                "kind": kind,
+                "name": name,
+            }
+            # Lineage first, epoch second: every durable epoch then has
+            # a durable lineage entry. The reverse order could leave an
+            # epoch whose place in the graph nobody knows; this order
+            # merely leaves a stale entry a reopen prunes.
+            self._lineage[index] = entry
+            self._write_manifest()
             plain = bytes(data)
             if self.compress:
                 payload = zlib.compress(plain, level=6)
@@ -223,24 +423,44 @@ class FileStore(CheckpointStore):
             )
             path = self._epoch_path(index)
             tmp_path = path + ".tmp"
-            with open(tmp_path, "wb") as handle:
-                handle.write(header)
-                handle.write(payload)
-                handle.flush()
-                # The index counter, the durable file, and the verified-
-                # cache entry must appear atomically or a concurrent
-                # append could reuse the index of a not-yet-durable epoch.
-                # race-ok: fsync under _lock is deliberate (see above)
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
+            try:
+                with open(tmp_path, "wb") as handle:
+                    handle.write(header)
+                    handle.write(payload)
+                    handle.flush()
+                    # The index counter, the durable file, and the
+                    # verified-cache entry must appear atomically or a
+                    # concurrent append could reuse the index of a
+                    # not-yet-durable epoch.
+                    # race-ok: fsync under _lock is deliberate (see above)
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, path)
+            except BaseException:
+                # The epoch never became durable; its lineage entry must
+                # not pollute AUTO resolution for the retrying caller.
+                self._lineage.pop(index, None)
+                raise
             self._next = index + 1
             # We just wrote and framed this payload: it is verified by
             # construction, so seed the cache with the pre-compression bytes.
             signature = self._stat_signature(path)
             if signature is not None:
-                self._verified[index] = (signature, Epoch(index, kind, plain))
-            self._write_manifest()
+                self._verified[index] = (
+                    signature,
+                    Epoch(index, kind, plain, parent, branch, name),
+                )
+            self._branch_tips[branch] = index
+            self._last_branch = branch
+            if name is not None:
+                self._names[name] = index
         return index
+
+    def _branch_of(self, index: int) -> str:
+        # caller holds _lock
+        meta = self._lineage.get(index)
+        if meta is not None:
+            return meta["branch"]
+        return _implied_lineage(index)["branch"]
 
     def _next_index(self) -> int:
         """The index the next append will use.
@@ -258,13 +478,48 @@ class FileStore(CheckpointStore):
 
     def _write_manifest(self) -> None:
         manifest = {
-            "format_version": _VERSION,
+            "format_version": MANIFEST_VERSION,
             "classes": self._registry.name_to_serial(),
+            "lineage": {
+                str(index): entry
+                for index, entry in sorted(self._lineage.items())
+            },
         }
         tmp_path = self.manifest_path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
         os.replace(tmp_path, self.manifest_path)
+
+    def remove(self, indices) -> None:
+        """Delete the given epochs (compaction's deletion primitive).
+
+        Removes the files, drops their verified-cache and lineage
+        entries, rewrites the manifest, and rebuilds the branch-tip and
+        name maps. The next-index counter is *not* rewound: indices are
+        never reused, so lineage references stay unambiguous forever.
+        """
+        doomed = set(indices)
+        if not doomed:
+            return
+        with self._lock:
+            for index in sorted(doomed):
+                try:
+                    os.remove(self._epoch_path(index))
+                except OSError:
+                    pass  # a leftover file only wastes space, never safety
+                self._verified.pop(index, None)
+                self._lineage.pop(index, None)
+            self._branch_tips = {}
+            self._names = {}
+            last = None
+            for index, _ in self._epoch_files():
+                meta = self._lineage.get(index) or _implied_lineage(index)
+                self._branch_tips[meta["branch"]] = index
+                if meta.get("name") is not None:
+                    self._names[meta["name"]] = index
+                last = meta["branch"]
+            self._last_branch = last
+            self._write_manifest()
 
     # -- reading --------------------------------------------------------------
 
@@ -310,7 +565,15 @@ class FileStore(CheckpointStore):
                 data = self._read_epoch(path)
                 if data is None:
                     break
-                epoch = Epoch(index, data[0], data[1])
+                meta = self._lineage.get(index) or _implied_lineage(index)
+                epoch = Epoch(
+                    index,
+                    data[0],
+                    data[1],
+                    meta["parent"],
+                    meta["branch"],
+                    meta.get("name"),
+                )
                 if signature is not None:
                     self._verified[index] = (signature, epoch)
                 result.append(epoch)
@@ -450,12 +713,27 @@ class BackgroundWriter(CheckpointStore):
 
     # -- writer thread ---------------------------------------------------
 
-    def _append_backing(self, kind: str, data: bytes):
-        """One backing write, under the retry policy when there is one."""
+    def _append_backing(self, kind: str, data: bytes, lineage: dict):
+        """One backing write, under the retry policy when there is one.
+
+        ``lineage`` carries the ``parent``/``branch``/``name`` keywords
+        queued with the epoch. An ``AUTO`` parent is resolved by the
+        backing store *at drain time* — the queue is FIFO, so the head
+        of the target branch is exactly what it would have been had the
+        append been synchronous. All-default lineage is not forwarded,
+        so minimal ``append(kind, data)`` stores keep working behind
+        the writer.
+        """
+        if (
+            lineage["parent"] is AUTO
+            and lineage["branch"] is None
+            and lineage["name"] is None
+        ):
+            lineage = {}
         if self._retry is None:
-            return self.backing.append(kind, data)
+            return self.backing.append(kind, data, **lineage)
         return self._retry.run(
-            lambda: self.backing.append(kind, data),
+            lambda: self.backing.append(kind, data, **lineage),
             on_retry=lambda attempt, exc, _d: self.retry_stats.note(
                 "append", attempt, exc
             ),
@@ -473,11 +751,11 @@ class BackgroundWriter(CheckpointStore):
                         self.dropped += 1  # fail-stop: no writes past a hole
                 if failed:
                     continue
-                kind, data = item
+                kind, data, lineage = item
                 instrumented = self.tracer.enabled or self.metrics.enabled
                 start = time.perf_counter() if instrumented else 0.0
                 try:
-                    self._append_backing(kind, data)
+                    self._append_backing(kind, data, lineage)
                 except BaseException as exc:  # surfaced on the next call
                     with self._state_lock:
                         self._error = exc
@@ -552,9 +830,9 @@ class BackgroundWriter(CheckpointStore):
                         self.dropped += 1
                 if failed:
                     continue
-                kind, data = item
+                kind, data, lineage = item
                 try:
-                    self._append_backing(kind, data)
+                    self._append_backing(kind, data, lineage)
                 except BaseException as exc:
                     with self._state_lock:
                         self._error = exc
@@ -582,15 +860,27 @@ class BackgroundWriter(CheckpointStore):
 
     # -- CheckpointStore interface ------------------------------------------
 
-    def append(self, kind: str, data: bytes) -> int:
+    def append(
+        self,
+        kind: str,
+        data: bytes,
+        *,
+        parent=AUTO,
+        branch: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> int:
         """Queue one epoch for writing; returns the queue position.
 
         The durable epoch index is assigned by the backing store when the
         writer thread gets to it; use :meth:`flush` + ``backing.epochs()``
-        when exact indices matter. After a write failure every append
-        raises: the writer is fail-stop. After the writer *thread* dies,
-        appends degrade to synchronous writes (and return the real index).
+        when exact indices matter. Lineage keywords travel with the
+        queued epoch (an ``AUTO`` parent resolves at drain time, which
+        the FIFO queue makes equivalent to a synchronous append). After
+        a write failure every append raises: the writer is fail-stop.
+        After the writer *thread* dies, appends degrade to synchronous
+        writes (and return the real index).
         """
+        lineage = {"parent": parent, "branch": branch, "name": name}
         with self._state_lock:
             if self._failed:
                 # appends report it; no need to re-raise later
@@ -609,7 +899,7 @@ class BackgroundWriter(CheckpointStore):
             with self._state_lock:
                 self.sync_writes += 1
             try:
-                return self._append_backing(kind, bytes(data))
+                return self._append_backing(kind, bytes(data), lineage)
             except BaseException as exc:
                 with self._state_lock:
                     self._failed = True
@@ -619,7 +909,7 @@ class BackgroundWriter(CheckpointStore):
                     + self._dropped_suffix()
                 ) from exc
         self._idle.clear()
-        self._queue.put((kind, bytes(data)))
+        self._queue.put((kind, bytes(data), lineage))
         return self._queue.qsize()
 
     def _pending(self) -> int:
@@ -675,9 +965,13 @@ class BackgroundWriter(CheckpointStore):
         self._check()
         return self.backing.epochs()
 
-    def recover(self, registry=None):
+    def recover(self, registry=None, at=None):
         self.flush()
-        return self.backing.recover(registry)
+        return self.backing.recover(registry, at=at)
+
+    def materialize(self, target, registry=None):
+        self.flush()
+        return self.backing.materialize(target, registry)
 
     def __enter__(self) -> "BackgroundWriter":
         return self
@@ -690,21 +984,39 @@ def compact(
     store: CheckpointStore,
     registry: Optional[ClassRegistry] = None,
     keep_history: bool = False,
+    branch: Optional[str] = None,
 ) -> int:
-    """Fold the store's recovery line into one fresh full checkpoint.
+    """Fold one branch's recovery line into a fresh full checkpoint.
 
-    Long delta chains make recovery slow and retain dead epochs; compaction
-    replays the current line, records every live object into a new full
-    epoch, and appends it. With ``keep_history=False`` (the default) the
-    file-backed store also deletes the epochs that precede the new base —
-    they can no longer participate in any recovery line.
+    Long delta chains make recovery slow and retain dead epochs;
+    compaction replays the chain of ``branch``'s tip (default: the
+    newest epoch's branch), records every live object into a new full
+    epoch, and appends it onto that branch. With ``keep_history=False``
+    (the default) the file-backed store then deletes every epoch the
+    lineage graph no longer protects: an epoch survives iff it is on
+    the base chain of some branch head or named checkpoint. Compaction
+    therefore never cuts across a branch point or a named pin — other
+    branches and every pin keep their full recovery lines.
+
+    For a linear, unnamed store the protected set is exactly the new
+    base, reproducing the old delete-everything-below behaviour.
 
     Returns the epoch index of the new base. The compacted state is
-    byte-for-byte equivalent for recovery: ``recover()`` before and after
-    yields structurally identical object tables (tests enforce this).
+    byte-for-byte equivalent for recovery: ``recover()`` before and
+    after yields structurally identical object tables (tests enforce
+    this).
     """
     registry = registry or DEFAULT_REGISTRY
-    table = store.recover(registry)
+    lineage = store.lineage()
+    if branch is None:
+        head = lineage.newest()  # raises the no-full error when empty
+    else:
+        tips = lineage.branches()
+        if branch not in tips:
+            raise StorageError(f"unknown branch {branch!r}; cannot compact")
+        head = tips[branch]
+    head_epoch = lineage.epoch(head)
+    table = store.materialize(head, registry)
 
     # Re-record every object. Flags are irrelevant here: we synthesize a
     # full checkpoint directly from the table (restored objects are clean).
@@ -715,13 +1027,12 @@ def compact(
         out.write_int32(obj._ckpt_info.object_id)
         out.write_int32(obj._ckpt_serial)
         obj.record(out)
-    new_index = store.append(FULL, out.getvalue())
+    new_index = store.append(
+        FULL, out.getvalue(), parent=head, branch=head_epoch.branch
+    )
 
     if not keep_history and isinstance(store, FileStore):
-        for index, path in store._epoch_files():
-            if index < new_index:
-                try:
-                    os.remove(path)
-                except OSError:
-                    pass  # a leftover file only wastes space, never safety
+        after = store.lineage()
+        protected = after.protected()
+        store.remove(i for i in after.indices() if i not in protected)
     return new_index

@@ -14,11 +14,15 @@ package is how the reproduction *tests* that, instead of assuming it:
 """
 
 from repro.faults.crashsim import (
+    BranchScript,
+    BranchSim,
     CrashSim,
     Scenario,
     ScenarioResult,
     Workload,
+    build_branch_matrix,
     build_matrix,
+    default_branch_script,
     default_workload,
     table_fingerprint,
 )
@@ -28,8 +32,12 @@ from repro.faults.plan import (
     BITFLIP,
     CRASH_AFTER,
     CRASH_BEFORE,
+    CRASH_FORK,
     CRASH_KINDS,
+    CRASH_RESTORE,
     CRASH_TMP,
+    KNOWN_KINDS,
+    SESSION_KINDS,
     STALL,
     TORN,
     TRANSIENT,
@@ -45,13 +53,19 @@ __all__ = [
     "TransientFault",
     "InjectedCrash",
     "CrashSim",
+    "BranchSim",
+    "BranchScript",
     "Scenario",
     "ScenarioResult",
     "Workload",
     "default_workload",
+    "default_branch_script",
     "build_matrix",
+    "build_branch_matrix",
     "table_fingerprint",
     "ALL_KINDS",
+    "SESSION_KINDS",
+    "KNOWN_KINDS",
     "CRASH_KINDS",
     "TRANSIENT",
     "TORN",
@@ -60,4 +74,6 @@ __all__ = [
     "CRASH_BEFORE",
     "CRASH_AFTER",
     "CRASH_TMP",
+    "CRASH_RESTORE",
+    "CRASH_FORK",
 ]

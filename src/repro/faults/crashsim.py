@@ -17,8 +17,12 @@ store, and demands:
 
 :func:`build_matrix` generates the seeded scenario matrix (crash points,
 torn-write offsets through the whole header and into the payload, bit
-flips, transient bursts, stalls) across the three write paths: plain
-store, session sink, and background writer.
+flips, transient bursts, stalls) across the three write paths — plain
+store, session sink, and background writer — plus the ``branch`` path:
+:class:`BranchSim` runs the deterministic time-travel script (commit,
+named pin, restore, fork) with faults armed on the store *and* on the
+session's restore/fork calls themselves, and demands every surviving
+epoch on every branch materialize byte-identically after repair.
 """
 
 from __future__ import annotations
@@ -41,7 +45,10 @@ from repro.faults.plan import (
     BITFLIP,
     CRASH_AFTER,
     CRASH_BEFORE,
+    CRASH_FORK,
+    CRASH_RESTORE,
     CRASH_TMP,
+    SESSION_KINDS,
     STALL,
     TORN,
     TRANSIENT,
@@ -53,8 +60,11 @@ from repro.obs.tracer import NULL_TRACER
 from repro.runtime.session import CheckpointSession
 from repro.runtime.sink import StoreSink
 
-#: the three commit paths the matrix must cover
-PATHS = ("store", "sink", "background")
+#: the branching time-travel path, handled by :class:`BranchSim`
+BRANCH_PATH = "branch"
+
+#: the commit paths the matrix must cover
+PATHS = ("store", "sink", "background", BRANCH_PATH)
 
 #: size of the epoch frame header, for torn-write offset sweeps
 HEADER_SIZE = 14
@@ -249,10 +259,14 @@ class CrashSim:
             )
         if scenario.path == "sink":
             return FaultySink(FileStore(directory), scenario.plan, retry=retry)
-        writer = BackgroundWriter(
-            FaultyStore(FileStore(directory), scenario.plan), retry=retry
+        if scenario.path == "background":
+            writer = BackgroundWriter(
+                FaultyStore(FileStore(directory), scenario.plan), retry=retry
+            )
+            return StoreSink(writer)
+        raise StorageError(
+            f"scenario path {scenario.path!r} needs BranchSim, not CrashSim"
         )
-        return StoreSink(writer)
 
     def run_scenario(self, scenario: Scenario) -> ScenarioResult:
         with self.tracer.span(
@@ -337,6 +351,305 @@ class CrashSim:
         return [self.run_scenario(scenario) for scenario in scenarios]
 
 
+# ---------------------------------------------------------------------------
+# The branching time-travel simulator
+# ---------------------------------------------------------------------------
+
+#: epochs the branch script appends on a fault-free run
+BRANCH_SCRIPT_EPOCHS = 7
+
+
+@dataclass
+class BranchScript:
+    """The deterministic time-travel workload: commit, pin, restore, fork.
+
+    Epoch map of the fault-free run (store append order)::
+
+        0  full   main                base
+        1  delta  main                mutate 1
+        2  delta  main   name="pin"   mutate 2
+        3  delta  main                mutate 3
+           -- restore("pin"): auto-fork branch main@2, parent 2 --
+        4  delta  main@2 parent=2     mutate 4
+           -- fork(at=0, branch="alt"): parent 0 --
+        5  delta  alt    parent=0     mutate 5
+        6  delta  alt                 mutate 6
+    """
+
+    build: Callable[[], Sequence[Checkpointable]]
+    mutate: Callable[[Sequence[Checkpointable], int], None]
+    epochs: int = BRANCH_SCRIPT_EPOCHS
+
+    def run(
+        self,
+        make_sink: Callable[[], object],
+        session_factory: Callable[..., CheckpointSession] = CheckpointSession,
+    ) -> CheckpointSession:
+        session = session_factory(roots=self.build(), sink=make_sink())
+        session.base()
+        self.mutate(session.roots(), 1)
+        session.commit()
+        self.mutate(session.roots(), 2)
+        session.checkpoint("pin")
+        self.mutate(session.roots(), 3)
+        session.commit()
+        session.restore("pin")
+        self.mutate(session.roots(), 4)
+        session.commit()
+        session.fork(at=0, branch="alt")
+        self.mutate(session.roots(), 5)
+        session.commit()
+        self.mutate(session.roots(), 6)
+        session.commit()
+        session.flush()
+        return session
+
+
+def default_branch_script() -> BranchScript:
+    """The default workload's structures, run through the branch script."""
+    from repro.synthetic.structures import build_structures, element_at
+
+    def build():
+        return build_structures(3, 2, 3, 1)
+
+    def mutate(roots, step):
+        compound = roots[step % len(roots)]
+        element = element_at(compound, step % 2, step % 3)
+        element.v0 = step * 1000 + 7
+
+    return BranchScript(build=build, mutate=mutate)
+
+
+class _CrashPointSession(CheckpointSession):
+    """A session that dies entering (param 0) or leaving (param 1) a
+    restore/fork call — the process-death analog one layer above the
+    store, where no append is in flight but session state is."""
+
+    def __init__(self, *args, crash_specs=None, crash_log=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._crash_specs: Dict[str, FaultSpec] = crash_specs or {}
+        self._crash_log: List[str] = (
+            crash_log if crash_log is not None else []
+        )
+
+    def _maybe_crash(self, kind: str, point: int, where: str) -> None:
+        spec = self._crash_specs.get(kind)
+        if spec is not None and int(spec.param) == point:
+            self._crash_log.append(where)
+            raise InjectedCrash(f"injected {where}")
+
+    def restore(self, target, roots=None):
+        self._maybe_crash(
+            CRASH_RESTORE, 0, f"crash entering restore({target!r})"
+        )
+        table = super().restore(target, roots=roots)
+        self._maybe_crash(
+            CRASH_RESTORE, 1, f"crash leaving restore({target!r})"
+        )
+        return table
+
+    def fork(self, at=None, branch=None, roots=None):
+        self._maybe_crash(CRASH_FORK, 0, f"crash entering fork({branch!r})")
+        table = super().fork(at=at, branch=branch, roots=roots)
+        self._maybe_crash(CRASH_FORK, 1, f"crash leaving fork({branch!r})")
+        return table
+
+
+class BranchSim:
+    """Crash-inject the branching script; verify *every* epoch, per branch.
+
+    The lineage analog of :class:`CrashSim`. The reference run executes
+    :class:`BranchScript` fault-free and fingerprints every epoch index
+    materialized through its base+delta chain. A scenario replays the
+    script with faults armed on the store (append-level kinds) and/or on
+    the session itself (``crash-restore`` / ``crash-fork``), repairs the
+    directory, and demands that every epoch surviving repair — on both
+    sides of every branch point — still materializes byte-identically.
+    """
+
+    def __init__(
+        self,
+        root_dir: str,
+        script: Optional[BranchScript] = None,
+        retry: Optional[RetryPolicy] = None,
+        tracer=None,
+    ) -> None:
+        self.root_dir = root_dir
+        self.script = script or default_branch_script()
+        self.retry = retry or RetryPolicy(
+            max_attempts=4, base_delay=0.0005, max_delay=0.002
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        os.makedirs(root_dir, exist_ok=True)
+        self._id_base = DEFAULT_ALLOCATOR.last_allocated + 1
+        self._id_high = self._id_base
+        #: fingerprint of the materialized table per epoch index
+        self._reference: Optional[Dict[int, bytes]] = None
+
+    def _pin_ids(self) -> None:
+        DEFAULT_ALLOCATOR.reset(self._id_base)
+
+    def _release_ids(self) -> None:
+        self._id_high = max(self._id_high, DEFAULT_ALLOCATOR.last_allocated)
+        DEFAULT_ALLOCATOR.advance_past(self._id_high)
+
+    def reference(self) -> Dict[int, bytes]:
+        """Per-epoch-index fingerprints of the fault-free branching run."""
+        if self._reference is not None:
+            return self._reference
+        directory = os.path.join(self.root_dir, "branch-reference")
+        shutil.rmtree(directory, ignore_errors=True)
+        self._pin_ids()
+        try:
+            self.script.run(lambda: StoreSink(FileStore(directory)))
+        finally:
+            self._release_ids()
+        store = FileStore(directory)
+        fingerprints: Dict[int, bytes] = {}
+        for index in store.lineage().indices():
+            self._pin_ids()
+            try:
+                fingerprints[index] = table_fingerprint(
+                    store.materialize(index)
+                )
+            finally:
+                self._release_ids()
+        self._reference = fingerprints
+        return fingerprints
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        with self.tracer.span(
+            "crashsim.branch", name=scenario.name
+        ) as span:
+            result = self._run_scenario(scenario)
+            span.add(
+                crashed=result.crashed,
+                durable_epochs=result.durable_epochs,
+                ok=result.ok,
+            )
+        return result
+
+    def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        directory = os.path.join(self.root_dir, f"run-{scenario.name}")
+        shutil.rmtree(directory, ignore_errors=True)
+        reference = self.reference()
+        store_plan = FaultPlan(
+            [s for s in scenario.plan if s.kind not in SESSION_KINDS]
+        )
+        crash_specs = {
+            s.kind: s for s in scenario.plan if s.kind in SESSION_KINDS
+        }
+        crash_log: List[str] = []
+        retry = scenario.retry or self.retry
+        crashed = False
+        detail = ""
+        faulty_cell: List[FaultyStore] = []
+
+        def make_sink():
+            faulty = FaultyStore(FileStore(directory), store_plan)
+            faulty_cell.append(faulty)
+            return StoreSink(faulty, retry=retry)
+
+        def session_factory(**kwargs):
+            return _CrashPointSession(
+                crash_specs=crash_specs, crash_log=crash_log, **kwargs
+            )
+
+        self._pin_ids()
+        try:
+            self.script.run(make_sink, session_factory=session_factory)
+        except (InjectedCrash, StorageError, OSError) as exc:
+            crashed = True
+            detail = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._release_ids()
+
+        injected = list(faulty_cell[0].injected) if faulty_cell else []
+        injected.extend(crash_log)
+
+        # -- simulated restart: repair, then materialize every survivor --
+        RecoveryManager(directory, tracer=self.tracer).repair()
+        verify = RecoveryManager(directory, tracer=self.tracer).scan()
+        fresh = FileStore(directory)
+        surviving = fresh.lineage().indices()
+        identical = True
+        for index in surviving:
+            self._pin_ids()
+            try:
+                recovered = table_fingerprint(fresh.materialize(index))
+            finally:
+                self._release_ids()
+            if reference.get(index) != recovered:
+                identical = False
+                detail += f"; epoch {index} diverged from reference"
+        return ScenarioResult(
+            name=scenario.name,
+            path=scenario.path,
+            crashed=crashed,
+            durable_epochs=len(surviving),
+            recovered_identical=identical,
+            fsck_consistent=verify.consistent,
+            injected=injected,
+            detail=detail,
+        )
+
+    def run_matrix(self, scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
+        return [self.run_scenario(scenario) for scenario in scenarios]
+
+
+def build_branch_matrix(
+    epochs: int = BRANCH_SCRIPT_EPOCHS,
+) -> List[Scenario]:
+    """Scenarios for the branching script: every crash point plus the
+    session-level restore/fork crash points."""
+    scenarios: List[Scenario] = []
+    for kind in (CRASH_BEFORE, CRASH_AFTER, CRASH_TMP):
+        for op in range(epochs):
+            scenarios.append(
+                Scenario(
+                    name=f"branch-{kind}-op{op}",
+                    plan=FaultPlan.single(FaultSpec(op, kind)),
+                    path=BRANCH_PATH,
+                )
+            )
+    # Torn writes before the pin, on the auto-fork branch, at the tail.
+    for op in (1, 4, 6):
+        scenarios.append(
+            Scenario(
+                name=f"branch-torn-op{op}",
+                plan=FaultPlan.single(FaultSpec(op, TORN, param=7)),
+                path=BRANCH_PATH,
+            )
+        )
+    # Silent corruption on a shared ancestor: children of both branches
+    # must be stranded together, the other branch must survive.
+    for bit in (3, 203):
+        scenarios.append(
+            Scenario(
+                name=f"branch-bitflip-op1-b{bit}",
+                plan=FaultPlan.single(FaultSpec(1, BITFLIP, param=bit)),
+                path=BRANCH_PATH,
+            )
+        )
+    for kind in (CRASH_RESTORE, CRASH_FORK):
+        for point, label in ((0, "enter"), (1, "exit")):
+            scenarios.append(
+                Scenario(
+                    name=f"branch-{kind}-{label}",
+                    plan=FaultPlan.single(FaultSpec(0, kind, param=point)),
+                    path=BRANCH_PATH,
+                )
+            )
+    scenarios.append(
+        Scenario(
+            name="branch-transient-x2",
+            plan=FaultPlan.single(FaultSpec(4, TRANSIENT, attempts=2)),
+            path=BRANCH_PATH,
+        )
+    )
+    return scenarios
+
+
 def build_matrix(seed: int = 20260806, epochs: int = 6) -> List[Scenario]:
     """The acceptance matrix: ≥ 50 scenarios across all three paths.
 
@@ -407,8 +720,9 @@ def build_matrix(seed: int = 20260806, epochs: int = 6) -> List[Scenario]:
         )
 
     # Seeded random plans for everything the grid above missed.
+    store_paths = ("store", "sink", "background")
     for extra in range(8):
-        path = PATHS[extra % len(PATHS)]
+        path = store_paths[extra % len(store_paths)]
         scenarios.append(
             Scenario(
                 name=f"{path}-seeded-{extra}",
@@ -416,6 +730,8 @@ def build_matrix(seed: int = 20260806, epochs: int = 6) -> List[Scenario]:
                 path=path,
             )
         )
+    # The branching time-travel script, with its session crash points.
+    scenarios.extend(build_branch_matrix())
     return scenarios
 
 
@@ -423,9 +739,13 @@ def run(
     root_dir: str, seed: int = 20260806, epochs: int = 6
 ) -> dict:
     """Run the full matrix; returns a JSON-serializable summary."""
-    sim = CrashSim(root_dir)
     scenarios = build_matrix(seed=seed, epochs=epochs)
-    results = sim.run_matrix(scenarios)
+    linear = [s for s in scenarios if s.path != BRANCH_PATH]
+    branching = [s for s in scenarios if s.path == BRANCH_PATH]
+    results = CrashSim(root_dir).run_matrix(linear)
+    results += BranchSim(os.path.join(root_dir, BRANCH_PATH)).run_matrix(
+        branching
+    )
     failures = [result for result in results if not result.ok]
     return {
         "seed": seed,

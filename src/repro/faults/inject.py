@@ -34,6 +34,7 @@ from repro.faults.plan import (
     CRASH_AFTER,
     CRASH_BEFORE,
     CRASH_TMP,
+    SESSION_KINDS,
     STALL,
     TORN,
     TRANSIENT,
@@ -80,6 +81,12 @@ class FaultyStore(CheckpointStore):
         plan: FaultPlan,
         sleep=time.sleep,
     ) -> None:
+        for spec in plan:
+            if spec.kind in SESSION_KINDS:
+                raise CheckpointError(
+                    f"fault kind {spec.kind!r} is a session-level crash "
+                    "point; it cannot run on a store's append stream"
+                )
         self.backing = backing
         self.plan = plan
         self._sleep = sleep
@@ -130,21 +137,21 @@ class FaultyStore(CheckpointStore):
 
     # -- CheckpointStore interface -----------------------------------------
 
-    def append(self, kind: str, data: bytes) -> int:
+    def append(self, kind: str, data: bytes, **lineage) -> int:
         spec = self.plan.for_op(self.ops)
         if spec is None:
-            index = self.backing.append(kind, data)
+            index = self.backing.append(kind, data, **lineage)
             self.ops += 1
             return index
         if spec.kind == TRANSIENT:
             self._inject_transient(spec)
-            index = self.backing.append(kind, data)
+            index = self.backing.append(kind, data, **lineage)
             self.ops += 1
             return index
         if spec.kind == STALL:
             self.injected.append(f"stalled {spec.param:.3f}s at op {spec.op}")
             self._sleep(spec.param)
-            index = self.backing.append(kind, data)
+            index = self.backing.append(kind, data, **lineage)
             self.ops += 1
             return index
         if spec.kind == CRASH_BEFORE:
@@ -156,7 +163,7 @@ class FaultyStore(CheckpointStore):
             self._orphan_tmp(kind, data)
             raise InjectedCrash(f"crash mid-append (tmp left) at op {spec.op}")
         # The remaining kinds manipulate the file the append produced.
-        index = self.backing.append(kind, data)
+        index = self.backing.append(kind, data, **lineage)
         self.ops += 1
         if spec.kind == TORN:
             self._tear(index, int(spec.param))
@@ -172,8 +179,8 @@ class FaultyStore(CheckpointStore):
     def epochs(self) -> List[Epoch]:
         return self.backing.epochs()
 
-    def recover(self, registry=None):
-        return self.backing.recover(registry)
+    def recover(self, registry=None, at=None):
+        return self.backing.recover(registry, at=at)
 
 
 class FaultySink(StoreSink):

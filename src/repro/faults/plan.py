@@ -31,6 +31,13 @@ Fault kinds
     The process "crashes" after writing ``epoch-N.ckpt.tmp`` but before
     the atomic rename — the orphaned-temporary state
     :class:`~repro.core.storage.FileStore` and ``fsck`` must quarantine.
+``crash-restore`` / ``crash-fork``
+    Session-level crash points: the process dies entering
+    (``param == 0``) or leaving (``param == 1``) a
+    ``CheckpointSession.restore`` / ``fork`` call. These never reach a
+    store's append stream — the crash simulator arms them on the session
+    itself — so :class:`~repro.faults.inject.FaultyStore` rejects plans
+    containing them.
 """
 
 from __future__ import annotations
@@ -48,7 +55,10 @@ STALL = "stall"
 CRASH_BEFORE = "crash-before"
 CRASH_AFTER = "crash-after"
 CRASH_TMP = "crash-tmp"
+CRASH_RESTORE = "crash-restore"
+CRASH_FORK = "crash-fork"
 
+#: kinds injected at a store's append stream (what ``generate`` draws from)
 ALL_KINDS = (
     TRANSIENT,
     TORN,
@@ -58,8 +68,12 @@ ALL_KINDS = (
     CRASH_AFTER,
     CRASH_TMP,
 )
-#: kinds that end the run (the simulated process dies at this append)
-CRASH_KINDS = (TORN, CRASH_BEFORE, CRASH_AFTER, CRASH_TMP)
+#: kinds armed on a session's restore/fork path, not on appends
+SESSION_KINDS = (CRASH_RESTORE, CRASH_FORK)
+#: every kind a FaultSpec may carry
+KNOWN_KINDS = ALL_KINDS + SESSION_KINDS
+#: kinds that end the run (the simulated process dies at this point)
+CRASH_KINDS = (TORN, CRASH_BEFORE, CRASH_AFTER, CRASH_TMP) + SESSION_KINDS
 
 
 @dataclass(frozen=True)
@@ -78,7 +92,7 @@ class FaultSpec:
     attempts: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in ALL_KINDS:
+        if self.kind not in KNOWN_KINDS:
             raise CheckpointError(f"unknown fault kind {self.kind!r}")
         if self.op < 0:
             raise CheckpointError(f"fault op must be >= 0, got {self.op}")
@@ -100,6 +114,9 @@ class FaultSpec:
             return f"op {self.op}: bit {int(self.param)} flipped"
         if self.kind == STALL:
             return f"op {self.op}: stall {self.param:.3f}s"
+        if self.kind in SESSION_KINDS:
+            point = "enter" if int(self.param) == 0 else "exit"
+            return f"op {self.op}: {self.kind} at {point}"
         return f"op {self.op}: {self.kind}"
 
 

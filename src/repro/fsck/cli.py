@@ -32,6 +32,18 @@ def _human(report, out) -> None:
         if entry.action != "kept":
             line += f" -> {entry.action}"
         print(line, file=out)
+    for branch, head in sorted(report.branches.items()):
+        print(f"  branch {branch}: head epoch {head}", file=out)
+    for name, index in sorted(report.named.items()):
+        print(f"  named checkpoint {name!r}: epoch {index}", file=out)
+    for branch in report.orphan_branches:
+        print(f"  ! orphan branch {branch!r}: base chain broken", file=out)
+    if not report.manifest_supported:
+        print(
+            f"  ! manifest format_version {report.format_version!r} "
+            "not supported by this tool",
+            file=out,
+        )
     for action in report.actions:
         print(f"  * {action}", file=out)
 

@@ -11,16 +11,25 @@ later epochs outside any recovery line.
 can trust:
 
 1. **scan** — classify every file (``intact`` / ``torn`` / ``corrupt`` /
-   ``orphan-tmp`` / ``unreachable`` / ``foreign``) and compute the last
-   consistent epoch prefix (contiguous intact epochs from the lowest
-   index, stopping at the first damaged file or index hole);
-2. **repair** — quarantine everything outside that prefix into
+   ``orphan-tmp`` / ``unreachable`` / ``foreign``) and walk the epoch
+   *lineage graph* from the manifest: an epoch is durable iff its file
+   is intact and every ancestor down to its nearest full checkpoint is
+   intact too. Stores written before the manifest carried a lineage map
+   get the implied linear lineage (parent = index − 1), which reproduces
+   the historical contiguous-prefix semantics exactly;
+2. **repair** — quarantine everything damaged or chain-broken into
    ``quarantine/`` and re-verify, leaving a directory whose every
-   remaining epoch participates in a valid recovery line.
+   remaining epoch materializes through an intact base+delta chain.
+   Orphan *branches* (a fork whose base chain was destroyed) are
+   quarantined with their bytes intact, never deleted.
+
+A manifest with an unknown ``format_version`` is a classified finding:
+the scan reports it and marks the directory inconsistent (the CLI exits
+nonzero) instead of guessing at lineage written by a newer tool.
 
 The recovery invariant, checked by the fault-injection suite: after
-``repair()``, ``FileStore(directory).recover()`` yields exactly the
-state of the last durable epoch of the fault-free execution.
+``repair()``, every epoch still present materializes byte-identically
+to the fault-free execution at the same epoch index.
 """
 
 from __future__ import annotations
@@ -29,15 +38,18 @@ import json
 import os
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.errors import StorageError
+from repro.core.lineage import MAIN_BRANCH
 from repro.core.storage import (
     _COMPRESSED_NAMES,
     _HEADER,
     _KIND_NAMES,
     _MAGIC,
+    _SUPPORTED_MANIFESTS,
     _VERSION,
+    _implied_lineage,
     FULL,
 )
 from repro.obs.tracer import NULL_TRACER
@@ -83,18 +95,29 @@ class FsckReport:
 
     directory: str
     files: List[FileReport] = field(default_factory=list)
-    #: intact, contiguous, line-forming epoch indices (the durable prefix)
+    #: intact epoch indices whose whole base chain is intact (sorted)
     durable_epochs: List[int] = field(default_factory=list)
-    #: whether every non-quarantined file participates in that prefix
+    #: whether every non-quarantined file participates in an intact chain
     consistent: bool = False
-    #: whether the durable prefix contains a full checkpoint (recovery base)
+    #: whether any durable epoch materializes (a full checkpoint survives)
     recoverable: bool = False
     #: whether the manifest is present and well-formed
     manifest_ok: bool = False
+    #: False when the manifest declares a format_version this tool
+    #: does not understand (a classified finding, not a traceback)
+    manifest_supported: bool = True
+    #: the manifest's declared format_version, when one was readable
+    format_version: Optional[object] = None
     #: True when this report describes a repair pass
     repaired: bool = False
     #: human-readable notes of what scan/repair did
     actions: List[str] = field(default_factory=list)
+    #: branch name → newest durable epoch index on that branch
+    branches: Dict[str, int] = field(default_factory=dict)
+    #: checkpoint name → durable epoch index it pins
+    named: Dict[str, int] = field(default_factory=dict)
+    #: branches whose every epoch was stranded by a broken base chain
+    orphan_branches: List[str] = field(default_factory=list)
 
     def by_status(self, status: str) -> List[FileReport]:
         return [entry for entry in self.files if entry.status == status]
@@ -105,8 +128,13 @@ class FsckReport:
             "consistent": self.consistent,
             "recoverable": self.recoverable,
             "manifest_ok": self.manifest_ok,
+            "manifest_supported": self.manifest_supported,
+            "format_version": self.format_version,
             "repaired": self.repaired,
             "durable_epochs": list(self.durable_epochs),
+            "branches": dict(self.branches),
+            "named": dict(self.named),
+            "orphan_branches": list(self.orphan_branches),
             "files": [entry.to_dict() for entry in self.files],
             "actions": list(self.actions),
             "counts": {
@@ -203,9 +231,9 @@ class RecoveryManager:
                 continue  # quarantine/ and other directories
             entries.append(self._classify(name, path))
         report.files = entries
-        self._resolve_sequence(report)
-        self._check_manifest(report)
-        report.consistent = not [
+        lineage_meta = self._check_manifest(report)
+        self._resolve_sequence(report, lineage_meta)
+        report.consistent = report.manifest_supported and not [
             entry
             for entry in entries
             if entry.status in (TORN, CORRUPT, ORPHAN_TMP, UNREACHABLE)
@@ -241,59 +269,144 @@ class RecoveryManager:
             return FileReport(name, status, index=index, kind=kind, detail=detail)
         return FileReport(name, FOREIGN, detail="not a store file")
 
-    def _resolve_sequence(self, report: FsckReport) -> None:
-        """The durable prefix: contiguous intact epochs from the lowest index.
+    def _resolve_sequence(
+        self, report: FsckReport, lineage_meta: Dict[int, dict]
+    ) -> None:
+        """Durable epochs: intact epochs whose whole base chain is intact.
 
-        The first torn/corrupt epoch — or the first hole in the index
-        sequence — ends the prefix; every *intact* epoch past that point
-        can never join a recovery line (deltas cannot apply across a
-        hole) and is reclassified ``unreachable``.
+        Lineage-graph semantics: walk each epoch's parent pointers down
+        to its nearest full checkpoint; a damaged or missing ancestor
+        reclassifies the (file-intact) epoch ``unreachable``, because no
+        recovery line can materialize it. Epochs without a manifest
+        lineage entry get the implied linear lineage (parent = index−1,
+        branch ``main``), which reproduces the historical
+        contiguous-prefix behaviour on pre-lineage stores. An intact
+        epoch on a non-main branch whose chain is broken is an *orphan
+        branch* — reported as such, and quarantined (never deleted) by
+        :meth:`repair`.
         """
         epoch_entries = sorted(
             (entry for entry in report.files if entry.index is not None),
             key=lambda entry: entry.index,
         )
-        durable: List[int] = []
-        broken = False
-        expected = epoch_entries[0].index if epoch_entries else 0
-        for entry in epoch_entries:
-            if broken:
-                if entry.status == INTACT:
-                    entry.status = UNREACHABLE
-                    entry.detail = "intact but stranded past a hole"
-                continue
-            if entry.index != expected:
-                broken = True  # an index hole strands everything after it
-                if entry.status == INTACT:
-                    entry.status = UNREACHABLE
-                    entry.detail = (
-                        f"index gap: expected epoch {expected}, "
-                        f"found {entry.index}"
-                    )
-                continue
-            if entry.status != INTACT:
-                broken = True
-                continue
-            durable.append(entry.index)
-            expected = entry.index + 1
-        report.durable_epochs = durable
-        kinds = {
-            entry.index: entry.kind
-            for entry in epoch_entries
-            if entry.index in durable
-        }
-        report.recoverable = any(kinds[index] == FULL for index in durable)
+        by_index = {entry.index: entry for entry in epoch_entries}
 
-    def _check_manifest(self, report: FsckReport) -> None:
+        def meta_of(index: int) -> dict:
+            meta = lineage_meta.get(index)
+            return meta if meta is not None else _implied_lineage(index)
+
+        chain_ok: Dict[int, bool] = {}
+
+        def walk(index: int) -> bool:
+            trail: List[int] = []
+            visited = set()
+            current = index
+            while True:
+                if current in chain_ok:
+                    verdict = chain_ok[current]
+                    break
+                if current in visited:
+                    verdict = False  # a lineage cycle materializes nothing
+                    break
+                visited.add(current)
+                entry = by_index.get(current)
+                if entry is None or entry.status != INTACT:
+                    verdict = False
+                    break
+                trail.append(current)
+                if entry.kind == FULL:
+                    verdict = True  # a full is its own base
+                    break
+                parent = meta_of(current).get("parent")
+                if parent is None:
+                    # A parentless delta: nothing above it to lose. It is
+                    # durable (its bytes are sound) but contributes no
+                    # recovery base — ``recoverable`` stays with fulls.
+                    verdict = True
+                    break
+                current = parent
+            for i in trail:
+                chain_ok[i] = verdict
+            chain_ok[index] = verdict
+            return verdict
+
+        durable: List[int] = []
+        orphans: Dict[str, bool] = {}
+        branches: Dict[str, int] = {}
+        named: Dict[str, int] = {}
+        for entry in epoch_entries:
+            meta = meta_of(entry.index)
+            branch = meta.get("branch") or MAIN_BRANCH
+            if entry.status != INTACT:
+                continue
+            if walk(entry.index):
+                durable.append(entry.index)
+                branches[branch] = entry.index
+                orphans.setdefault(branch, False)
+                name = meta.get("name")
+                if name:
+                    named[name] = entry.index
+            else:
+                entry.status = UNREACHABLE
+                if branch != MAIN_BRANCH:
+                    entry.detail = (
+                        "intact but its base chain is broken "
+                        f"(orphan branch {branch!r})"
+                    )
+                    orphans.setdefault(branch, True)
+                else:
+                    entry.detail = "intact but its base chain is broken"
+        report.durable_epochs = durable
+        report.branches = branches
+        report.named = named
+        report.orphan_branches = sorted(
+            branch for branch, orphaned in orphans.items() if orphaned
+        )
+        report.recoverable = any(
+            by_index[index].kind == FULL for index in durable
+        )
+
+    def _check_manifest(self, report: FsckReport) -> Dict[int, dict]:
+        """Validate the manifest; return its epoch lineage map (if any)."""
         path = os.path.join(self.directory, "manifest.json")
+        lineage_meta: Dict[int, dict] = {}
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
-            report.manifest_ok = isinstance(manifest.get("classes"), dict)
         except (OSError, json.JSONDecodeError):
+            manifest = None
+        if manifest is None or not isinstance(manifest.get("classes"), dict):
             report.manifest_ok = False
-        if not report.manifest_ok:
             report.actions.append("manifest missing or malformed")
+            return lineage_meta
+        version = manifest.get("format_version", 1)
+        report.format_version = version
+        if version not in _SUPPORTED_MANIFESTS:
+            # A newer (or garbage) manifest format: classify, do not guess.
+            report.manifest_ok = False
+            report.manifest_supported = False
+            report.actions.append(
+                f"unsupported manifest format_version {version!r} (this "
+                f"tool understands {sorted(_SUPPORTED_MANIFESTS)}); "
+                "refusing to interpret the epoch lineage"
+            )
+            for entry in report.files:
+                if entry.name == "manifest.json":
+                    entry.detail = (
+                        f"unsupported format_version {version!r}"
+                    )
+            return lineage_meta
+        report.manifest_ok = True
+        raw = manifest.get("lineage")
+        if isinstance(raw, dict):
+            for key, value in raw.items():
+                try:
+                    index = int(key)
+                except (TypeError, ValueError):
+                    continue
+                if isinstance(value, dict):
+                    lineage_meta[index] = value
+        return lineage_meta
 
     # -- repairing ---------------------------------------------------------
 
@@ -306,6 +419,15 @@ class RecoveryManager:
         itself becomes consistent. Returns the post-repair report.
         """
         report = self.scan()
+        if not report.manifest_supported:
+            # Lineage semantics come from the manifest; with a manifest
+            # this tool cannot read, any quarantine decision would be a
+            # guess. Leave every byte where it is.
+            report.actions.append(
+                "repair refused: manifest format unsupported, no file moved"
+            )
+            report.repaired = True
+            return report
         moved = 0
         for entry in report.files:
             if entry.status in (TORN, CORRUPT, ORPHAN_TMP, UNREACHABLE):
@@ -319,6 +441,11 @@ class RecoveryManager:
         report.recoverable = verify.recoverable
         report.consistent = verify.consistent
         report.manifest_ok = verify.manifest_ok
+        report.manifest_supported = verify.manifest_supported
+        report.format_version = verify.format_version
+        report.branches = verify.branches
+        report.named = verify.named
+        report.orphan_branches = verify.orphan_branches
         report.repaired = True
         if self.tracer.enabled:
             self.tracer.event(

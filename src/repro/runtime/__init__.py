@@ -19,6 +19,7 @@ drivers, specialized routines, and stores by hand.
   durable stores, asynchronous writers, all behind one ``put()``.
 """
 
+from repro.core.lineage import AUTO, MAIN_BRANCH, Lineage
 from repro.core.retry import RetryPolicy, RetryStats
 from repro.runtime.policy import EpochPolicy
 from repro.runtime.session import (
@@ -49,6 +50,9 @@ __all__ = [
     "CommitReceipt",
     "CommitResult",
     "EpochPolicy",
+    "Lineage",
+    "AUTO",
+    "MAIN_BRANCH",
     "RetryPolicy",
     "RetryStats",
     "Sink",

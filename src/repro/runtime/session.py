@@ -45,7 +45,8 @@ from repro.core.checkpoint import (
     snapshot_flags,
 )
 from repro.core.checkpointable import Checkpointable
-from repro.core.errors import CheckpointError, StorageError
+from repro.core.errors import CheckpointError, RestoreError, StorageError
+from repro.core.lineage import AUTO, MAIN_BRANCH, EpochRef, Lineage
 from repro.core.registry import DEFAULT_REGISTRY, ClassRegistry
 from repro.core.restore import ObjectTable
 from repro.core.retry import RetryPolicy
@@ -142,6 +143,10 @@ class CommitResult:
     compacted: bool = False
     #: durability state, retries, and degradation events of this commit
     receipt: Optional[CommitReceipt] = None
+    #: lineage branch the epoch was appended to
+    branch: Optional[str] = None
+    #: checkpoint name pinned to the epoch (``session.checkpoint(name)``)
+    epoch_name: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -209,6 +214,11 @@ class CheckpointSession:
         self.sink.instrument(self.tracer, self.metrics)
         self.class_registry = class_registry or DEFAULT_REGISTRY
         self._roots = _roots_provider(roots)
+        #: whether the caller supplied a live callable (then the caller —
+        #: not restore() — owns rebinding its collection to restored objects)
+        self._roots_live = callable(roots) and not isinstance(
+            roots, Checkpointable
+        )
         self._default = self.registry.resolve(strategy)
         #: guards the session's mutable bookkeeping (counters, history,
         #: escalation/degradation state, phase bindings) against commits
@@ -220,6 +230,11 @@ class CheckpointSession:
         self._closed = False
         #: the next policy-decided epoch must be a full (chain repair)
         self._escalate_full = False
+        #: lineage branch the next commit appends to
+        self._branch = MAIN_BRANCH
+        #: explicit parent the next commit must pin to (set by restore/fork;
+        #: None means the store auto-resolves the branch tip)
+        self._pending_parent: Optional[int] = None
 
         #: epochs committed through this session (base() included)
         self.commits = 0
@@ -231,6 +246,10 @@ class CheckpointSession:
         self.compactions = 0
         #: strategy fallbacks performed (specialized commit raised)
         self.degradations = 0
+        #: restores performed (``restore()`` and rebinding ``fork()``)
+        self.restores = 0
+        #: branch forks started through this session
+        self.forks = 0
         #: every commit's :class:`CommitResult`, in order
         self.history: List[CommitResult] = []
 
@@ -339,20 +358,42 @@ class CheckpointSession:
         """The current root objects."""
         return self._roots()
 
-    def base(self, roots: Optional[RootsLike] = None) -> CommitResult:
+    def base(
+        self,
+        roots: Optional[RootsLike] = None,
+        name: Optional[str] = None,
+    ) -> CommitResult:
         """Record a full checkpoint: the base of the incremental chain.
 
         Always uses the full driver — every reachable object is recorded
         and flags are cleared, so subsequent :meth:`commit` deltas apply
-        on top of it.
+        on top of it. ``name`` pins the epoch as a named checkpoint.
         """
-        return self._commit(_FULL_DRIVER, FULL, phase=None, roots=roots)
+        return self._commit(
+            _FULL_DRIVER, FULL, phase=None, roots=roots, name=name
+        )
+
+    def checkpoint(
+        self,
+        name: str,
+        phase: Optional[str] = None,
+        roots: Optional[RootsLike] = None,
+    ) -> CommitResult:
+        """Commit one epoch pinned under ``name`` (a named checkpoint).
+
+        A named epoch is addressable by name in :meth:`restore` /
+        :meth:`fork`, and compaction never deletes it or the chain that
+        materializes it. Names are unique per store; reusing one raises
+        :class:`~repro.core.errors.StorageError`.
+        """
+        return self.commit(phase=phase, roots=roots, name=name)
 
     def commit(
         self,
         phase: Optional[str] = None,
         roots: Optional[RootsLike] = None,
         kind: Optional[str] = None,
+        name: Optional[str] = None,
     ) -> CommitResult:
         """Record one checkpoint epoch through the session pipeline.
 
@@ -382,7 +423,12 @@ class CheckpointSession:
         elif kind not in _KIND_CODES:
             raise StorageError(f"unknown checkpoint kind {kind!r}")
         return self._commit(
-            strategy, kind, phase=phase, roots=roots, escalated=escalated
+            strategy,
+            kind,
+            phase=phase,
+            roots=roots,
+            escalated=escalated,
+            name=name,
         )
 
     def measure(
@@ -437,6 +483,7 @@ class CheckpointSession:
         data: bytes,
         phase: Optional[str] = None,
         wall_seconds: float = 0.0,
+        name: Optional[str] = None,
     ) -> CommitResult:
         """Commit pre-produced checkpoint bytes (e.g. from a metered run).
 
@@ -465,7 +512,7 @@ class CheckpointSession:
             phase=phase,
             receipt=receipt,
         )
-        self._persist(result)
+        self._persist(result, name=name)
         return result
 
     def _settle_escalation(
@@ -526,6 +573,7 @@ class CheckpointSession:
         phase: Optional[str],
         roots: Optional[RootsLike],
         escalated: bool = False,
+        name: Optional[str] = None,
     ) -> CommitResult:
         self._ensure_open()
         tracer = self.tracer
@@ -611,14 +659,38 @@ class CheckpointSession:
             phase=phase,
             receipt=receipt,
         )
-        self._persist(result)
+        self._persist(result, name=name)
         return result
 
-    def _persist(self, result: CommitResult) -> None:
+    def _persist(
+        self, result: CommitResult, name: Optional[str] = None
+    ) -> None:
         receipt = result.receipt
         stats = getattr(self.sink, "retry_stats", None)
         retries_before = stats.retries if stats is not None else 0
-        result.epoch_index = self.sink.put(result.kind, result.data)
+        with self._state_lock:
+            parent = self._pending_parent
+            branch = self._branch
+        result.epoch_index = self.sink.put(
+            result.kind,
+            result.data,
+            parent=AUTO if parent is None else parent,
+            branch=branch,
+            name=name,
+        )
+        result.branch = branch
+        result.epoch_name = name
+        if parent is not None:
+            # The put landed, so the restore/fork point is now anchored in
+            # the lineage graph; subsequent commits chain off this epoch.
+            with self._state_lock:
+                if self._pending_parent == parent:
+                    self._pending_parent = None
+            if receipt is not None:
+                receipt.events.append(
+                    f"pinned to parent epoch {parent} (first commit after "
+                    "restore/fork)"
+                )
         if receipt is not None:
             if stats is not None:
                 put_retries = stats.retries - retries_before
@@ -707,11 +779,24 @@ class CheckpointSession:
     # -- store lifecycle -----------------------------------------------------
 
     def compact(self) -> int:
-        """Fold the sink's recovery line into a fresh full epoch."""
+        """Fold the current branch's recovery line into a fresh full epoch."""
         tracer = self.tracer
         start = time.perf_counter() if tracer.enabled else 0.0
+        with self._state_lock:
+            if self._pending_parent is not None:
+                # Compaction deletes unprotected epochs, and the chain the
+                # pending restore/fork sits on is only protected once its
+                # first commit anchors a new head there.
+                raise StorageError(
+                    "cannot compact between a restore/fork and its first "
+                    f"commit: the chain at epoch {self._pending_parent} is "
+                    "not yet anchored"
+                )
+            branch = self._branch
         index = self.sink.compact(
-            self.class_registry, keep_history=self.policy.keep_history
+            self.class_registry,
+            keep_history=self.policy.keep_history,
+            branch=branch,
         )
         with self._state_lock:
             self.deltas_since_full = 0
@@ -729,6 +814,187 @@ class CheckpointSession:
     def recover(self) -> ObjectTable:
         """Rebuild the object table from the sink's recovery line."""
         return self.sink.recover(self.class_registry)
+
+    # -- time travel ---------------------------------------------------------
+
+    def restore(
+        self,
+        target: EpochRef,
+        roots: Optional[RootsLike] = None,
+    ) -> ObjectTable:
+        """Materialize epoch ``target`` and make it the session's live state.
+
+        ``target`` is an epoch index or a checkpoint name. The sink is
+        flushed, the epoch's base+delta chain is replayed, and the
+        session's roots are rebound to the restored objects (matched by
+        object id; a root that does not exist at ``target`` raises
+        :class:`~repro.core.errors.RestoreError`). Roots supplied as a
+        live callable are *not* replaced — the caller owns that
+        collection and rebinds it from the returned table.
+
+        Restoring the tip of a branch continues that branch; restoring an
+        interior epoch starts a fresh auto-named branch forked at it, so
+        the epochs above the restore point are never rewritten. Either
+        way the next commit is pinned to ``target`` as its parent, any
+        pending full-checkpoint escalation is dropped (the restored state
+        is exactly the durable epoch — the chain needs no repair), and
+        ``deltas_since_full`` reflects the restored chain's length.
+        """
+        self._ensure_open()
+        with self.tracer.span("session.restore", target=str(target)) as span:
+            start = time.perf_counter()
+            self.sink.flush()
+            lineage = self.sink.lineage()
+            index = lineage.resolve(target)
+            epoch = lineage.epoch(index)
+            chain = lineage.chain_indices(index)
+            table = self.sink.materialize(index, self.class_registry)
+            rebound = self._rebind_roots(table, roots)
+            branches = lineage.branches()
+            with self._state_lock:
+                if branches.get(epoch.branch) == index:
+                    # the branch tip: new commits simply continue the branch
+                    branch = epoch.branch
+                else:
+                    branch = self._auto_branch_name(
+                        epoch.branch, index, branches
+                    )
+                self._branch = branch
+                self._pending_parent = index
+                self._escalate_full = False
+                self.deltas_since_full = len(chain) - 1
+                self.restores += 1
+            wall = time.perf_counter() - start
+            span.add(
+                epoch_index=index,
+                branch=branch,
+                chain_length=len(chain),
+                roots_rebound=rebound,
+            )
+        if self.metrics.enabled:
+            self.metrics.counter("restores_total").inc()
+            self.metrics.histogram("restore_seconds").observe(wall)
+            self.metrics.gauge("restore_chain_length").set(len(chain))
+        return table
+
+    def fork(
+        self,
+        at: Optional[EpochRef] = None,
+        branch: Optional[str] = None,
+        roots: Optional[RootsLike] = None,
+    ) -> Optional[ObjectTable]:
+        """Start a new lineage branch for everything committed from now on.
+
+        With ``at`` the session first restores that epoch (exactly like
+        :meth:`restore`) and the new branch grows from it; without ``at``
+        the live, possibly-dirty state is kept and the branch grows from
+        the current branch's tip. ``branch`` names the new branch
+        (default: the first unused ``fork-N``); a name already present in
+        the store raises :class:`~repro.core.errors.StorageError`.
+        Returns the restored table when ``at`` was given, else ``None``.
+        """
+        self._ensure_open()
+        self.sink.flush()
+        try:
+            branches = self.sink.lineage().branches()
+        except StorageError:
+            branches = {}
+        if branch is None:
+            branch = self._auto_fork_name(branches)
+        elif branch in branches:
+            raise StorageError(
+                f"branch {branch!r} already exists in the store"
+            )
+        table = None
+        if at is not None:
+            table = self.restore(at, roots=roots)
+            with self._state_lock:
+                self._branch = branch
+                parent = self._pending_parent
+                self.forks += 1
+        else:
+            with self._state_lock:
+                if self._pending_parent is None:
+                    self._pending_parent = branches.get(self._branch)
+                parent = self._pending_parent
+                self._branch = branch
+                self.forks += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "session.fork",
+                branch=branch,
+                parent=parent,
+                restored=at is not None,
+            )
+        if self.metrics.enabled:
+            self.metrics.counter("forks_total").inc()
+            self.metrics.gauge("branches").set(len(branches) + 1)
+        return table
+
+    def _rebind_roots(
+        self, table: ObjectTable, roots: Optional[RootsLike]
+    ) -> int:
+        """Point the session's roots at their restored counterparts."""
+        if roots is not None:
+            provider = _roots_provider(roots)
+            with self._state_lock:
+                self._roots = provider
+                self._roots_live = callable(roots) and not isinstance(
+                    roots, Checkpointable
+                )
+            return len(provider())
+        current = self._roots()
+        restored = []
+        for root in current:
+            object_id = root._ckpt_info.object_id
+            found = table.get(object_id)
+            if found is None:
+                raise RestoreError(
+                    f"session root {root!r} does not exist at the restored "
+                    "epoch; pass roots= to rebind explicitly"
+                )
+            restored.append(found)
+        if not self._roots_live:
+            fixed = tuple(restored)
+            with self._state_lock:
+                self._roots = lambda: fixed
+        return len(restored)
+
+    @staticmethod
+    def _auto_branch_name(
+        base_branch: str, index: int, branches: Dict[str, int]
+    ) -> str:
+        """A deterministic, unused branch name for a fork at ``index``."""
+        candidate = f"{base_branch}@{index}"
+        n = 1
+        while candidate in branches:
+            n += 1
+            candidate = f"{base_branch}@{index}.{n}"
+        return candidate
+
+    @staticmethod
+    def _auto_fork_name(branches: Dict[str, int]) -> str:
+        n = 1
+        while f"fork-{n}" in branches:
+            n += 1
+        return f"fork-{n}"
+
+    def lineage(self) -> Lineage:
+        """The sink store's epoch lineage graph (durable epochs only)."""
+        return self.sink.lineage()
+
+    def branches(self) -> Dict[str, int]:
+        """Branch name → tip epoch index, for every branch in the store."""
+        return self.sink.lineage().branches()
+
+    def named_checkpoints(self) -> Dict[str, int]:
+        """Checkpoint name → epoch index, for every named epoch."""
+        return self.sink.lineage().named()
+
+    @property
+    def current_branch(self) -> str:
+        """The branch the next commit appends to."""
+        return self._branch
 
     def flush(self) -> None:
         """Block until every committed epoch is durable."""

@@ -26,6 +26,7 @@ import time
 from typing import List, Optional
 
 from repro.core.errors import StorageError
+from repro.core.lineage import AUTO, EpochRef, Lineage
 from repro.core.registry import ClassRegistry
 from repro.core.restore import ObjectTable
 from repro.core.retry import RetryPolicy, RetryStats
@@ -64,9 +65,33 @@ class Sink:
         if self.metrics is NULL_METRICS:
             self.metrics = metrics
 
-    def put(self, kind: str, data: bytes) -> Optional[int]:
-        """Accept one epoch; returns its index when the sink assigns one."""
+    def put(
+        self,
+        kind: str,
+        data: bytes,
+        *,
+        parent=AUTO,
+        branch: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Optional[int]:
+        """Accept one epoch; returns its index when the sink assigns one.
+
+        The lineage keywords (see
+        :meth:`repro.core.storage.CheckpointStore.append`) place the
+        epoch in the store's lineage graph; sinks without a store
+        ignore them.
+        """
         raise NotImplementedError
+
+    def lineage(self) -> Lineage:
+        """The epoch lineage graph of the sink's durable store."""
+        raise StorageError(f"{type(self).__name__} keeps no epoch lineage")
+
+    def materialize(
+        self, target: EpochRef, registry: Optional[ClassRegistry] = None
+    ) -> ObjectTable:
+        """The object table exactly as it was live at epoch ``target``."""
+        raise StorageError(f"{type(self).__name__} cannot restore state")
 
     def durability(self) -> str:
         """What :meth:`put` returning means for the epoch's durability.
@@ -91,6 +116,7 @@ class Sink:
         self,
         registry: Optional[ClassRegistry] = None,
         keep_history: bool = False,
+        branch: Optional[str] = None,
     ) -> int:
         """Fold the recovery line into a fresh full epoch (see storage)."""
         raise StorageError(f"{type(self).__name__} cannot compact")
@@ -102,7 +128,15 @@ class NullSink(Sink):
     def __init__(self) -> None:
         self.discarded = 0
 
-    def put(self, kind: str, data: bytes) -> Optional[int]:
+    def put(
+        self,
+        kind: str,
+        data: bytes,
+        *,
+        parent=AUTO,
+        branch: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Optional[int]:
         self.discarded += 1
         return None
 
@@ -140,26 +174,38 @@ class StoreSink(Sink):
         if propagate is not None:
             propagate(self.tracer, self.metrics)
 
-    def put(self, kind: str, data: bytes) -> Optional[int]:
+    def put(
+        self,
+        kind: str,
+        data: bytes,
+        *,
+        parent=AUTO,
+        branch: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Optional[int]:
         if not (self.tracer.enabled or self.metrics.enabled):
-            return self._put(kind, data)
+            return self._put(kind, data, parent, branch, name)
         start = time.perf_counter()
-        index = self._put(kind, data)
+        index = self._put(kind, data, parent, branch, name)
         elapsed = time.perf_counter() - start
         self.tracer.event(
             "sink.put", kind=kind, bytes=len(data), index=index,
-            wall_seconds=elapsed,
+            wall_seconds=elapsed, branch=branch, name=name,
         )
         self.metrics.histogram(
             "sink_put_seconds", buckets=DEFAULT_LATENCY_BUCKETS
         ).observe(elapsed)
         return index
 
-    def _put(self, kind: str, data: bytes) -> Optional[int]:
+    def _put(self, kind, data, parent, branch, name) -> Optional[int]:
         if self.retry is None:
-            return self.store.append(kind, data)
+            return self.store.append(
+                kind, data, parent=parent, branch=branch, name=name
+            )
         return self.retry.run(
-            lambda: self.store.append(kind, data),
+            lambda: self.store.append(
+                kind, data, parent=parent, branch=branch, name=name
+            ),
             on_retry=lambda attempt, exc, _d: self.retry_stats.note(
                 "put", attempt, exc
             ),
@@ -191,13 +237,25 @@ class StoreSink(Sink):
     def recover(self, registry: Optional[ClassRegistry] = None) -> ObjectTable:
         return self.store.recover(registry)
 
+    def materialize(
+        self, target: EpochRef, registry: Optional[ClassRegistry] = None
+    ) -> ObjectTable:
+        return self._durable_store().materialize(target, registry)
+
+    def lineage(self) -> Lineage:
+        return Lineage(self._durable_store().epochs())
+
     def compact(
         self,
         registry: Optional[ClassRegistry] = None,
         keep_history: bool = False,
+        branch: Optional[str] = None,
     ) -> int:
         return storage_compact(
-            self._durable_store(), registry, keep_history=keep_history
+            self._durable_store(),
+            registry,
+            keep_history=keep_history,
+            branch=branch,
         )
 
     def epochs(self) -> List[Epoch]:

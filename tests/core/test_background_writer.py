@@ -317,7 +317,10 @@ class TestBackgroundWriterDegradation:
         writer.append(INCREMENTAL, b"x")
         writer.flush()
         self.kill_thread(writer)
-        writer._queue.put((INCREMENTAL, b"y"))  # stranded by the dead thread
+        # stranded by the dead thread (queue items carry lineage kwargs)
+        writer._queue.put(
+            (INCREMENTAL, b"y", {"parent": None, "branch": None, "name": None})
+        )
         assert [e.data for e in writer.epochs()] == [b"x", b"y"]
         assert writer.degraded
         writer.close()

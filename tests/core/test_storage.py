@@ -78,8 +78,12 @@ class TestFileStore:
         _persist_history(store)
         with open(store.manifest_path) as handle:
             manifest = json.load(handle)
-        assert manifest["format_version"] == 1
+        assert manifest["format_version"] == 2
         assert any(name.endswith("Root") or "Root" in name for name in manifest["classes"])
+        # manifest v2 carries the lineage map, one entry per epoch
+        assert set(manifest["lineage"]) == {"0", "1", "2"}
+        assert manifest["lineage"]["1"]["parent"] == 0
+        assert manifest["lineage"]["1"]["branch"] == "main"
 
     def test_torn_tail_discarded(self, tmp_path):
         store = FileStore(str(tmp_path / "ckpt"))

@@ -1,0 +1,149 @@
+"""Lineage-aware fsck: branched fixtures, orphan quarantine, version skew."""
+
+import importlib.util
+import io
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.storage import FULL, FileStore, MemoryStore
+from repro.fsck.cli import main
+from repro.fsck.manager import RecoveryManager
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def load_fixture_tool():
+    spec = importlib.util.spec_from_file_location(
+        "make_lineage_fixture", REPO / "tools" / "make_lineage_fixture.py"
+    )
+    tool = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(tool)
+    return tool
+
+
+@pytest.fixture(scope="module")
+def fixture_tool():
+    return load_fixture_tool()
+
+
+def build(fixture_tool, tmp_path, damage):
+    directory = str(tmp_path / damage)
+    summary = fixture_tool.build_fixture(directory, damage=damage)
+    return directory, summary
+
+
+class TestIntactBranchedStore:
+    def test_scan_reports_branches_and_names(self, fixture_tool, tmp_path):
+        directory, summary = build(fixture_tool, tmp_path, "none")
+        report = RecoveryManager(directory).scan()
+        assert report.consistent
+        assert report.recoverable
+        assert report.durable_epochs == summary["expected_durable"]
+        assert report.branches == {"main": 3, "side": 5}
+        assert report.named == {"pin": 2}
+        assert report.orphan_branches == []
+
+    def test_cli_exits_zero(self, fixture_tool, tmp_path):
+        directory, _ = build(fixture_tool, tmp_path, "none")
+        assert main([directory], out=io.StringIO()) == 0
+
+
+class TestOrphanBranch:
+    def test_orphans_classified_not_lost(self, fixture_tool, tmp_path):
+        directory, summary = build(fixture_tool, tmp_path, "orphan-branch")
+        report = RecoveryManager(directory).scan()
+        assert not report.consistent
+        assert report.recoverable  # main's chain is untouched
+        assert report.durable_epochs == summary["expected_durable"]
+        assert report.orphan_branches == ["side"]
+        unreachable = [
+            f.name for f in report.files if f.status == "unreachable"
+        ]
+        assert unreachable == ["epoch-000005.ckpt"]
+
+    def test_repair_quarantines_orphans_without_data_loss(
+        self, fixture_tool, tmp_path
+    ):
+        directory, summary = build(fixture_tool, tmp_path, "orphan-branch")
+        manager = RecoveryManager(directory)
+        report = manager.repair()
+        assert report.repaired
+        # quarantined, not deleted: the bytes still exist
+        quarantined = os.listdir(manager.quarantine_dir)
+        assert "epoch-000005.ckpt" in quarantined
+        # the surviving store is clean and every durable epoch replays
+        after = RecoveryManager(directory).scan()
+        assert after.consistent
+        store = FileStore(directory)
+        for index in summary["expected_durable"]:
+            table = store.materialize(index)
+            assert len(table.ids()) > 0
+
+    def test_cli_exits_one(self, fixture_tool, tmp_path):
+        directory, _ = build(fixture_tool, tmp_path, "orphan-branch")
+        assert main([directory], out=io.StringIO()) == 1
+
+
+class TestUnknownFormatVersion:
+    def test_scan_fails_gracefully(self, fixture_tool, tmp_path):
+        directory, _ = build(fixture_tool, tmp_path, "unknown-version")
+        report = RecoveryManager(directory).scan()
+        assert not report.consistent
+        assert not report.manifest_supported
+        assert not report.manifest_ok
+        assert any(
+            "format_version" in action for action in report.actions
+        )
+
+    def test_cli_exit_nonzero_no_traceback(self, fixture_tool, tmp_path):
+        directory, _ = build(fixture_tool, tmp_path, "unknown-version")
+        out = io.StringIO()
+        code = main([directory, "--json"], out=out)
+        payload = json.loads(out.getvalue())
+        assert code == 1
+        assert payload["manifest_supported"] is False
+
+    def test_repair_refuses_to_move_files(self, fixture_tool, tmp_path):
+        directory, _ = build(fixture_tool, tmp_path, "unknown-version")
+        before = sorted(os.listdir(directory))
+        manager = RecoveryManager(directory)
+        report = manager.repair()
+        assert sorted(os.listdir(directory)) == before
+        assert not os.path.isdir(manager.quarantine_dir) or not os.listdir(
+            manager.quarantine_dir
+        )
+        assert any("repair refused" in action for action in report.actions)
+
+
+class TestTornHead:
+    def test_torn_head_drops_one_epoch_keeps_both_branches(
+        self, fixture_tool, tmp_path
+    ):
+        directory, summary = build(fixture_tool, tmp_path, "torn-head")
+        report = RecoveryManager(directory).scan()
+        assert not report.consistent
+        assert report.durable_epochs == summary["expected_durable"]
+        # the side branch is unaffected by main's torn head
+        assert report.branches["side"] == 5
+        assert "side" not in report.orphan_branches
+
+    def test_repair_then_rescan_clean(self, fixture_tool, tmp_path):
+        directory, _ = build(fixture_tool, tmp_path, "torn-head")
+        RecoveryManager(directory).repair()
+        after = RecoveryManager(directory).scan()
+        assert after.consistent
+        assert after.recoverable
+
+
+class TestReportRoundTrip:
+    def test_lineage_fields_survive_json(self, fixture_tool, tmp_path):
+        directory, _ = build(fixture_tool, tmp_path, "orphan-branch")
+        report = RecoveryManager(directory).scan()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["orphan_branches"] == ["side"]
+        assert payload["branches"] == {"main": 3}
+        assert payload["named"] == {"pin": 2}
+        assert payload["manifest_supported"] is True

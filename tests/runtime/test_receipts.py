@@ -88,11 +88,11 @@ class _FlakyStore(MemoryStore):
         self.failures = failures
         self.attempts = 0
 
-    def append(self, kind, data):
+    def append(self, kind, data, **lineage):
         self.attempts += 1
         if self.attempts <= self.failures:
             raise OSError(f"flaky append {self.attempts}")
-        return super().append(kind, data)
+        return super().append(kind, data, **lineage)
 
 
 class TestReceiptRetries:

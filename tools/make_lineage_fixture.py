@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Build a branched checkpoint directory for lineage-aware fsck (CI fixture).
+
+Writes a real time-travel session history — a main branch, a named
+checkpoint, and a forked side branch — into ``OUT_DIR``, then optionally
+damages it the way crashes and version skew do:
+
+- ``--damage none``            intact branched store (fsck must pass);
+- ``--damage orphan-branch``   deletes the side branch's fork-point
+  delta, so the branch survives on disk but its base chain is broken
+  (fsck must classify it unreachable/orphaned, repair must quarantine —
+  never delete — it);
+- ``--damage unknown-version`` bumps the manifest ``format_version`` to
+  a number this tool's fsck does not understand (fsck must fail
+  gracefully: classified finding + nonzero exit, and repair must refuse
+  to move files);
+- ``--damage torn-head``       truncates the main branch head
+  mid-payload (fsck must drop exactly that epoch and keep both
+  branches' bases).
+
+Usage::
+
+    PYTHONPATH=src python tools/make_lineage_fixture.py OUT_DIR \
+        [--damage MODE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime.session import CheckpointSession  # noqa: E402
+from repro.synthetic.structures import build_structures, element_at  # noqa: E402
+
+DAMAGE_MODES = ("none", "orphan-branch", "unknown-version", "torn-head")
+
+
+def build_store(directory: str) -> dict:
+    """A branched history: main 0-1-2-3 (2 named "pin"), side 4-5 off 2.
+
+    Epoch indices::
+
+        0 full -- 1 -- 2 ("pin") -- 3          main
+                        \\-- 4 -- 5             side
+    """
+    roots = build_structures(3, 2, 3, 1)
+    session = CheckpointSession(roots=roots, sink=directory)
+    session.base()
+    for step in (1, 2):
+        element_at(roots[0], 0, 0).v0 = step * 100 + 1
+        session.checkpoint("pin") if step == 2 else session.commit()
+    element_at(roots[1], 1, 0).v0 = 301
+    session.commit()
+    session.fork(at="pin", branch="side")
+    for step in (4, 5):
+        element_at(roots[2], 0, 1).v0 = step * 100 + 1
+        session.commit()
+    session.flush()
+    return {
+        "main_head": 3,
+        "side_head": 5,
+        "named": {"pin": 2},
+        "fork_point": 2,
+    }
+
+
+def apply_damage(directory: str, mode: str, layout: dict) -> dict:
+    def epoch_path(index: int) -> str:
+        return os.path.join(directory, f"epoch-{index:06d}.ckpt")
+
+    if mode == "none":
+        return {"expected_consistent": True, "expected_durable": [0, 1, 2, 3, 4, 5]}
+    if mode == "orphan-branch":
+        # The side branch's first delta: epochs above it lose their base.
+        os.remove(epoch_path(4))
+        return {
+            "removed": os.path.basename(epoch_path(4)),
+            "expected_consistent": False,
+            "expected_durable": [0, 1, 2, 3],
+            "expected_orphan_branches": ["side"],
+        }
+    if mode == "unknown-version":
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = 99
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        return {
+            "format_version": 99,
+            "expected_consistent": False,
+            "expected_manifest_supported": False,
+        }
+    if mode == "torn-head":
+        torn = epoch_path(layout["main_head"])
+        with open(torn, "rb+") as handle:
+            handle.truncate(os.path.getsize(torn) // 2)
+        return {
+            "torn": os.path.basename(torn),
+            "expected_consistent": False,
+            "expected_durable": [0, 1, 2, 4, 5],
+        }
+    raise ValueError(f"unknown damage mode {mode!r}")
+
+
+def build_fixture(directory: str, damage: str = "none") -> dict:
+    layout = build_store(directory)
+    result = {"directory": directory, "damage": damage}
+    result.update(layout)
+    result.update(apply_damage(directory, damage, layout))
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out_dir", help="directory to create the fixture in")
+    parser.add_argument("--damage", choices=DAMAGE_MODES, default="none")
+    args = parser.parse_args(argv)
+    if os.path.exists(args.out_dir) and os.listdir(args.out_dir):
+        parser.error(f"{args.out_dir} exists and is not empty")
+    summary = build_fixture(args.out_dir, damage=args.damage)
+    for key, value in summary.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
