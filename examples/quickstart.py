@@ -64,6 +64,7 @@ def build_exchange() -> Exchange:
         account.positions.append(Position(symbol="JVM", quantity=10, price=99.5))
         account.positions.append(Position(symbol="SPEC", quantity=5, price=42.0))
         exchange.accounts.append(account)
+    # alias-ok: best_account points into accounts under the same root
     exchange.best_account = exchange.accounts[0]
     return exchange
 
@@ -84,6 +85,7 @@ def main() -> None:
     print(f"delta 1 (one account touched): {delta1.size} bytes")
 
     exchange.accounts[2].positions[0].quantity = 11
+    # alias-ok: the pointer retargets within the same recorded root
     exchange.best_account = exchange.accounts[2]  # child pointer change
     delta2 = session.commit()
     print(f"delta 2 (position + root pointer): {delta2.size} bytes")

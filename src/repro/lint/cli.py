@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.lint [PATH ...] [--format human|json]
-                         [--strict] [--no-import] [--no-races]
+                         [--strict] [--no-import] [--no-races] [--no-aliases]
 
 With no paths, the installed ``repro`` package itself is linted (which
 covers every built-in module, ``repro.runtime`` included). For every
@@ -22,9 +22,15 @@ covers every built-in module, ``repro.runtime`` included). For every
    (:mod:`repro.spec.effects.concurrency`) over all discovered files as
    one program, emitting the race rule family (``unguarded-shared-write``,
    ``inconsistent-guard``, ``lock-order-inversion``,
-   ``lock-held-across-blocking-call``, ``flag-mutation-outside-commit``).
+   ``lock-held-across-blocking-call``, ``flag-mutation-outside-commit``);
+5. unless ``--no-aliases``, runs the interprocedural escape/alias
+   analysis (:mod:`repro.spec.effects.aliasing`), emitting the alias
+   rule family (``alias-write-bypasses-flag``, ``shared-subtree-alias``,
+   ``reference-escapes-recorded-graph``, ``alias-captured-by-thread``).
 
-Exit status is 1 when any *error* finding was produced (with
+Findings identical in (code, file, line, target, message) are reported
+once, even when several passes flag the same site. Exit status is 1
+when any *error* finding was produced (with
 ``--strict``, also when any *warning* was), else 0. Finding paths under
 the working directory are reported repo-relative, so JSON artifacts
 diff cleanly across CI runners.
@@ -56,6 +62,7 @@ from repro.core.errors import (
 )
 from repro.lint.findings import (
     Finding,
+    dedupe_findings,
     exit_code,
     relativize_findings,
     render_human,
@@ -547,6 +554,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the static lockset/race analysis pass",
     )
+    parser.add_argument(
+        "--no-aliases",
+        action="store_true",
+        help="skip the static escape/alias analysis pass",
+    )
     options = parser.parse_args(argv)
 
     paths = options.paths
@@ -619,6 +631,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         findings.extend(analyze_files(files).findings)
 
+    if not options.no_aliases:
+        # lazy for the same cycle reason as the concurrency pass
+        from repro.spec.effects.aliasing import analyze_files as analyze_aliases
+
+        findings.extend(analyze_aliases(files).findings)
+
+    findings = dedupe_findings(findings)
     relativize_findings(findings)
     if options.format == "json":
         print(render_json(findings, len(files), target_count, program_count))

@@ -127,6 +127,31 @@ def sort_findings(findings: List[Finding]) -> List[Finding]:
     )
 
 
+def dedupe_findings(findings: List[Finding]) -> List[Finding]:
+    """Drop findings identical in (code, file, line, target, message).
+
+    Several passes can flag the same site — the structural checks and
+    the alias analysis both dislike a raw ``_f_*`` store, and a shared
+    helper analyzed from two call sites replays the same summary.
+    First occurrence wins, so severity ordering upstream is preserved.
+    """
+    seen = set()
+    unique: List[Finding] = []
+    for finding in findings:
+        key = (
+            finding.code,
+            finding.filename,
+            finding.lineno,
+            finding.target,
+            finding.message,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(finding)
+    return unique
+
+
 def count_by_severity(findings: List[Finding]) -> Dict[str, int]:
     counts = {severity: 0 for severity in SEVERITIES}
     for finding in findings:

@@ -236,6 +236,9 @@ class CheckpointSession:
         #: None means the store auto-resolves the branch tip)
         self._pending_parent: Optional[int] = None
 
+        #: optional shadow-heap dirtiness oracle (attach_oracle)
+        self._oracle = None
+
         #: epochs committed through this session (base() included)
         self.commits = 0
         #: checkpoint bytes produced by committed epochs
@@ -431,6 +434,24 @@ class CheckpointSession:
             name=name,
         )
 
+    def attach_oracle(self, oracle) -> None:
+        """Hook a :class:`~repro.sanitize.oracle.ShadowHeapOracle` in.
+
+        The oracle byte-diffs the reachable graph against its shadow heap
+        around every ``measure``/``commit``/``restore``, reporting flag
+        under-/over-approximation through the session's obs seam. Purely
+        observational — attach in tests, crosschecks, or debug runs.
+        """
+        oracle.instrument(self.tracer, self.metrics)
+        with self._state_lock:
+            self._oracle = oracle
+
+    def detach_oracle(self):
+        """Remove and return the attached oracle (if any)."""
+        with self._state_lock:
+            oracle, self._oracle = self._oracle, None
+        return oracle
+
     def measure(
         self,
         phase: Optional[str] = None,
@@ -449,6 +470,8 @@ class CheckpointSession:
         tracer = self.tracer
         out = DataOutputStream()
         use = self._resolve_roots(roots)
+        if self._oracle is not None:
+            self._oracle.observe(use, phase=phase or "")
         saved = snapshot_flags(use)
         start = time.perf_counter()
         try:
@@ -593,6 +616,12 @@ class CheckpointSession:
             )
         out = DataOutputStream()
         use = self._resolve_roots(roots)
+        if self._oracle is not None:
+            # diff before the drivers run: they clear the flags the
+            # oracle compares against
+            self._oracle.before_commit(
+                use, phase=phase or "", commit_kind=kind
+            )
         start = time.perf_counter()
         try:
             strategy.write(use, out)
@@ -660,6 +689,9 @@ class CheckpointSession:
             receipt=receipt,
         )
         self._persist(result, name=name)
+        if self._oracle is not None:
+            # the epoch is durable: fold the staged images into the shadow
+            self._oracle.after_commit()
         return result
 
     def _persist(
@@ -850,6 +882,9 @@ class CheckpointSession:
             chain = lineage.chain_indices(index)
             table = self.sink.materialize(index, self.class_registry)
             rebound = self._rebind_roots(table, roots)
+            if self._oracle is not None:
+                # restore rewrote object state wholesale; the shadow follows
+                self._oracle.resync(self._resolve_roots(None))
             branches = lineage.branches()
             with self._state_lock:
                 if branches.get(epoch.branch) == index:

@@ -39,10 +39,18 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
+from repro.sanitize.oracle import (
+    OracleReport,
+    OracleViolation,
+    ShadowHeapOracle,
+)
 
 __all__ = [
+    "OracleReport",
+    "OracleViolation",
     "SanitizedLock",
     "Sanitizer",
+    "ShadowHeapOracle",
     "Violation",
     "current_held",
     "get_sanitizer",

@@ -1,0 +1,1139 @@
+"""Escape/alias interpretation over recorded object graphs.
+
+The dirty-flag discipline is sound only when every write to recorded
+state flows through a flag-setting site — a field descriptor
+(``_FieldDescriptor.__set__``) or a :class:`~repro.core.fields.
+TrackedList` mutator. This module interprets function bodies over an
+abstract heap that tracks *where recorded references flow*, and reports
+the ways a reference can leave the discipline:
+
+``alias-write-bypasses-flag`` (error)
+    A write reachable through an alias whose flag-set site cannot be
+    proven: raw ``_f_<field>`` slot stores, mutation of the
+    ``TrackedList._items`` backing list, ``__dict__``/``vars()`` stores,
+    ``setattr(obj, "_f_...", v)``.
+``shared-subtree-alias`` (error / warning)
+    One mutable object attached under two distinct recorded parents —
+    its flag clears when either root commits, silently staling the
+    other's delta. Attaching a *fresh* object twice is an error;
+    re-attaching a reference loaded out of the recorded graph is a
+    warning (the load site may have detached it first).
+``reference-escapes-recorded-graph`` (warning / info)
+    A recorded reference stored where the commit discipline cannot see
+    it: ``global`` stores, class-attribute stores, module-level
+    container mutation (warnings); arguments handed to callees the
+    analysis cannot resolve (info).
+``alias-captured-by-thread`` (warning)
+    A recorded reference captured by ``threading.Thread`` arguments or a
+    closure handed to ``target=`` — concurrent mutation feeds the
+    lockset pass. When the thread target resolves in-module, its body is
+    interpreted with the captured references bound, so bypass writes
+    inside the worker surface as errors.
+
+Abstract values form a small lattice: ``RECORDED`` (a checkpointable
+instance, with class and freshness), ``TRACKED`` (a flag-preserving
+``TrackedList`` view), ``RAW`` (a flag-bypassing view — ``._items`` or
+``__dict__``), plus references to module containers, classes, and
+functions. Everything else is ``OTHER``.
+
+Interprocedural flow reuses the :mod:`~repro.spec.effects.callgraph`
+idiom: in-module calls are summarized per ``(file, qualname, body
+digest, recorded-argument signature)`` in a process-wide
+:class:`AliasSummaryCache`; a hit replays the call's finding deltas
+instead of re-walking the body.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.spec.effects.aliasing.model import AliasModule, RecordedClass
+from repro.spec.effects.concurrency.model import MUTATOR_METHODS
+from repro.spec.effects.suppress import SuppressedSite
+
+#: abstract value kinds
+RECORDED = "recorded"
+TRACKED = "tracked"
+RAW = "raw"
+MCONT = "module-container"
+CLASSREF = "classref"
+FUNCREF = "funcref"
+NESTED = "nestedfunc"
+OTHER = "other"
+
+#: mutator names that attach their first argument into the receiver
+ATTACHING_MUTATORS = {"append", "insert", "add"}
+
+#: builtin callees a recorded reference may flow into without escaping
+SAFE_BUILTINS = {
+    "len", "print", "repr", "str", "id", "isinstance", "issubclass",
+    "type", "sorted", "reversed", "list", "tuple", "set", "dict",
+    "enumerate", "zip", "range", "sum", "min", "max", "any", "all",
+    "iter", "next", "hash", "hasattr", "getattr", "setattr", "vars",
+    "format", "bool", "int", "float", "abs", "round", "map", "filter",
+    "frozenset", "super", "object", "Exception", "ValueError",
+    "TypeError", "RuntimeError", "AssertionError", "KeyError",
+    "IndexError", "AttributeError",
+}
+
+#: recursion depth bound for interprocedural interpretation
+MAX_DEPTH = 8
+
+
+class AV:
+    """One abstract value."""
+
+    __slots__ = ("kind", "cls", "fresh", "elem_role", "elem_cls", "ref")
+
+    def __init__(
+        self,
+        kind: str,
+        cls: Optional[str] = None,
+        fresh: bool = False,
+        elem_role: Optional[str] = None,
+        elem_cls: Optional[str] = None,
+        ref=None,
+    ) -> None:
+        self.kind = kind
+        #: class name for RECORDED / the owner class for a ``__dict__`` RAW
+        self.cls = cls
+        #: RECORDED only: freshly constructed (never attached anywhere)
+        self.fresh = fresh
+        #: for list-like views: ``child_list`` / ``scalar_list``
+        self.elem_role = elem_role
+        self.elem_cls = elem_cls
+        #: payload for CLASSREF/FUNCREF/NESTED/MCONT (name or AST node)
+        self.ref = ref
+
+    def sig(self) -> Tuple:
+        """The summary-cache identity of this value as an argument."""
+        return (self.kind, self.cls or "", self.fresh, self.elem_role or "")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f":{self.cls}" if self.cls else ""
+        return f"AV({self.kind}{extra}{'+fresh' if self.fresh else ''})"
+
+
+_OTHER = AV(OTHER)
+
+
+class EscapeSite:
+    """Provenance of one point where a recorded reference leaves the graph."""
+
+    __slots__ = ("kind", "what", "filename", "lineno")
+
+    def __init__(self, kind: str, what: str, filename: str, lineno: int) -> None:
+        self.kind = kind
+        self.what = what
+        self.filename = filename
+        self.lineno = lineno
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "what": self.what,
+            "file": self.filename,
+            "line": self.lineno,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EscapeSite({self.kind}, {self.filename}:{self.lineno})"
+
+
+class AliasReport:
+    """Everything one analysis run produced."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.escapes: List[EscapeSite] = []
+        self.suppressed: List[SuppressedSite] = []
+        self.modules = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._seen: Set[Tuple] = set()
+        self._seen_escapes: Set[Tuple] = set()
+        self._seen_suppressed: Set[Tuple] = set()
+
+    def emit(
+        self,
+        module: AliasModule,
+        severity: str,
+        code: str,
+        message: str,
+        lineno: int,
+        scope_lineno: Optional[int] = None,
+        what: Optional[str] = None,
+    ) -> Optional[Finding]:
+        """Report one finding, honoring ``# alias-ok`` and deduplicating."""
+        if module.suppressions.check(lineno, what or message, scope_lineno):
+            return None
+        return self.emit_raw(severity, code, message, module.filename, lineno)
+
+    def emit_raw(
+        self, severity: str, code: str, message: str, filename: str, lineno: int
+    ) -> Optional[Finding]:
+        key = (code, filename, lineno, message)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        finding = Finding(severity, code, message, filename, lineno)
+        self.findings.append(finding)
+        return finding
+
+    def escape(
+        self, module: AliasModule, kind: str, what: str, lineno: int
+    ) -> None:
+        self.escape_raw(kind, what, module.filename, lineno)
+
+    def escape_raw(
+        self, kind: str, what: str, filename: str, lineno: int
+    ) -> None:
+        # summaries replay from every call site; record each site once
+        key = (kind, what, filename, lineno)
+        if key in self._seen_escapes:
+            return
+        self._seen_escapes.add(key)
+        self.escapes.append(EscapeSite(kind, what, filename, lineno))
+
+    def suppressed_site(self, site: SuppressedSite) -> None:
+        key = (site.filename, site.lineno, site.what)
+        if key in self._seen_suppressed:
+            return
+        self._seen_suppressed.add(key)
+        self.suppressed.append(site)
+
+
+class _Summary:
+    """Cached result of interpreting one callee with one arg signature."""
+
+    __slots__ = ("return_av", "findings", "escapes", "suppressed")
+
+    def __init__(self, return_av: AV) -> None:
+        self.return_av = return_av
+        #: (severity, code, message, filename, lineno) tuples
+        self.findings: List[Tuple[str, str, str, str, int]] = []
+        #: (kind, what, filename, lineno)
+        self.escapes: List[Tuple[str, str, str, int]] = []
+        #: (filename, lineno, reason, what)
+        self.suppressed: List[Tuple[str, int, str, str]] = []
+
+
+class AliasSummaryCache:
+    """Process-wide per-callee summaries, keyed by body digest + arg sig.
+
+    The same idiom as :class:`repro.spec.effects.callgraph.SummaryCache`:
+    a hit replays the stored deltas into the current report, so repeated
+    analyses (and repeated call sites) skip the body walk without losing
+    findings.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, _Summary] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[_Summary]:
+        summary = self._entries.get(key)
+        if summary is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return summary
+
+    def store(self, key: Tuple, summary: _Summary) -> None:
+        self._entries[key] = summary
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: process-wide cache (summaries are pure data; sharing is always safe)
+SUMMARY_CACHE = AliasSummaryCache()
+
+
+def body_digest(fdef: ast.FunctionDef) -> str:
+    """A stable hash of a function body's AST (no code object needed)."""
+    dump = ast.dump(fdef, include_attributes=False)
+    return hashlib.sha1(dump.encode("utf-8")).hexdigest()[:16]
+
+
+def _src(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+
+
+class _Interp:
+    """Interpret one function (or module) body over the abstract heap."""
+
+    def __init__(
+        self,
+        module: AliasModule,
+        report: AliasReport,
+        cache: AliasSummaryCache,
+        depth: int = 0,
+        stack: FrozenSet[Tuple] = frozenset(),
+        scope_lineno: Optional[int] = None,
+        scope_name: str = "<module>",
+    ) -> None:
+        self.module = module
+        self.report = report
+        self.cache = cache
+        self.depth = depth
+        self.stack = stack
+        self.scope_lineno = scope_lineno
+        self.scope_name = scope_name
+        self.env: Dict[str, AV] = {}
+        #: var -> attach sites: (parent description, lineno)
+        self.attached: Dict[str, List[Tuple[str, int]]] = {}
+        self.globals_declared: Set[str] = set()
+        self.nested: Dict[str, ast.FunctionDef] = {}
+        self.return_avs: List[AV] = []
+
+    # -- reporting ---------------------------------------------------------
+
+    def _emit(
+        self, severity: str, code: str, message: str, lineno: int
+    ) -> None:
+        self.report.emit(
+            self.module, severity, code, message, lineno, self.scope_lineno
+        )
+
+    # -- statements --------------------------------------------------------
+
+    def run(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_av = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value_av, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value_av = self.eval(stmt.value)
+                self._assign(stmt.target, value_av, stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self.eval(stmt.value)
+            self._aug_or_del_target(stmt.target, "augmented write")
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._aug_or_del_target(target, "delete")
+            return
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                av = self.eval(stmt.value)
+                self.return_avs.append(av)
+                if av.kind in (RECORDED, TRACKED, RAW):
+                    self.report.escape(
+                        self.module,
+                        "return",
+                        f"{self.scope_name} returns {av.kind} reference",
+                        stmt.lineno,
+                    )
+            return
+        if isinstance(stmt, ast.Global):
+            self.globals_declared.update(stmt.names)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested[stmt.name] = stmt
+            return
+        if isinstance(stmt, ast.For):
+            iter_av = self.eval(stmt.iter)
+            self._bind_loop_target(stmt.target, self._element_of(iter_av))
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_loop_target(item.optional_vars, _OTHER)
+            self.run(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+            return
+        if isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return
+        # Pass / Break / Continue / Import / Nonlocal / ClassDef: nothing
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+            elif isinstance(child, ast.stmt):
+                self._stmt(child)
+
+    # -- targets -----------------------------------------------------------
+
+    def _bind(self, name: str, av: AV) -> None:
+        self.env[name] = av
+        # a rebound variable is a new object: its attach history restarts
+        self.attached.pop(name, None)
+
+    def _bind_loop_target(self, target: ast.expr, av: AV) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, av)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_loop_target(element, _OTHER)
+
+    def _assign(
+        self, target: ast.expr, value_av: AV, value_expr: ast.expr
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if (
+                target.id in self.globals_declared
+                and value_av.kind in (RECORDED, TRACKED, RAW)
+            ):
+                self._emit(
+                    "warning",
+                    "reference-escapes-recorded-graph",
+                    f"recorded reference stored to global {target.id!r}: "
+                    "writes through it outlive the commit discipline",
+                    target.lineno,
+                )
+                self.report.escape(
+                    self.module, "global-store", target.id, target.lineno
+                )
+            self._bind(target.id, value_av)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements = None
+            if isinstance(value_expr, (ast.Tuple, ast.List)) and len(
+                value_expr.elts
+            ) == len(target.elts):
+                elements = value_expr.elts
+            for index, element in enumerate(target.elts):
+                if elements is not None:
+                    self._assign(
+                        element, self.eval(elements[index]), elements[index]
+                    )
+                else:
+                    self._bind_loop_target(element, _OTHER)
+            return
+        if isinstance(target, ast.Attribute):
+            base_av = self.eval(target.value)
+            field = target.attr
+            if base_av.kind == RECORDED and field.startswith("_f_"):
+                self._emit(
+                    "error",
+                    "alias-write-bypasses-flag",
+                    f"raw slot store {_src(target)} skips the field "
+                    "descriptor: the modified flag is never set",
+                    target.lineno,
+                )
+                return
+            if base_av.kind == CLASSREF and value_av.kind in (
+                RECORDED, TRACKED, RAW
+            ):
+                self._emit(
+                    "warning",
+                    "reference-escapes-recorded-graph",
+                    f"recorded reference stored on class "
+                    f"{base_av.ref}.{field}: shared across instances, "
+                    "invisible to per-root commits",
+                    target.lineno,
+                )
+                self.report.escape(
+                    self.module,
+                    "class-attr-store",
+                    f"{base_av.ref}.{field}",
+                    target.lineno,
+                )
+                return
+            if base_av.kind == RECORDED:
+                decl = self.module.field_of(base_av.cls, field)
+                if decl is not None and decl.role == "child":
+                    self._attach(
+                        value_expr,
+                        value_av,
+                        f"{_src(target.value)}.{field}",
+                        target.lineno,
+                    )
+            return
+        if isinstance(target, ast.Subscript):
+            base_av = self.eval(target.value)
+            self.eval(target.slice)
+            if base_av.kind == RAW:
+                self._emit(
+                    "error",
+                    "alias-write-bypasses-flag",
+                    f"store into raw view {_src(target.value)}: the "
+                    "backing list/dict is mutated without touching the "
+                    "modified flag",
+                    target.lineno,
+                )
+                return
+            if base_av.kind == MCONT:
+                if value_av.kind in (RECORDED, TRACKED, RAW):
+                    self._emit(
+                        "warning",
+                        "reference-escapes-recorded-graph",
+                        f"recorded reference stored into module-level "
+                        f"container {base_av.ref!r}",
+                        target.lineno,
+                    )
+                    self.report.escape(
+                        self.module,
+                        "module-container",
+                        str(base_av.ref),
+                        target.lineno,
+                    )
+                return
+            if (
+                base_av.kind == TRACKED
+                and base_av.elem_role == "child_list"
+            ):
+                self._attach(
+                    value_expr,
+                    value_av,
+                    f"{_src(target.value)}[...]",
+                    target.lineno,
+                )
+            return
+
+    def _aug_or_del_target(self, target: ast.expr, how: str) -> None:
+        if isinstance(target, ast.Attribute):
+            base_av = self.eval(target.value)
+            if base_av.kind == RECORDED and target.attr.startswith("_f_"):
+                self._emit(
+                    "error",
+                    "alias-write-bypasses-flag",
+                    f"{how} of raw slot {_src(target)} skips the field "
+                    "descriptor: the modified flag is never set",
+                    target.lineno,
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            base_av = self.eval(target.value)
+            self.eval(target.slice)
+            if base_av.kind == RAW:
+                self._emit(
+                    "error",
+                    "alias-write-bypasses-flag",
+                    f"{how} through raw view {_src(target.value)} mutates "
+                    "the backing container without touching the modified "
+                    "flag",
+                    target.lineno,
+                )
+            return
+        if isinstance(target, ast.Name):
+            self.eval(target)
+
+    # -- sharing -----------------------------------------------------------
+
+    def _attach(
+        self,
+        value_expr: ast.expr,
+        value_av: AV,
+        parent_desc: str,
+        lineno: int,
+    ) -> None:
+        """Record ``parent.field = value`` / ``parent.kids.append(value)``."""
+        if value_av.kind != RECORDED:
+            return
+        if not value_av.fresh:
+            self._emit(
+                "warning",
+                "shared-subtree-alias",
+                f"reference loaded from the recorded graph re-attached "
+                f"under {parent_desc}: the subtree may now be reachable "
+                "from two parents, and one commit clears the other's "
+                "dirty flags",
+                lineno,
+            )
+            return
+        if not isinstance(value_expr, ast.Name):
+            return
+        history = self.attached.setdefault(value_expr.id, [])
+        previous = [p for p, _ in history if p != parent_desc]
+        if previous:
+            self._emit(
+                "error",
+                "shared-subtree-alias",
+                f"{value_expr.id!r} attached under {parent_desc} is "
+                f"already attached under {previous[0]}: one object "
+                "reachable from two recorded parents, so either commit "
+                "clears the other's dirty flags",
+                lineno,
+            )
+        history.append((parent_desc, lineno))
+
+    # -- expressions -------------------------------------------------------
+
+    def _element_of(self, av: AV) -> AV:
+        if av.elem_role == "child_list":
+            return AV(RECORDED, cls=av.elem_cls, fresh=False)
+        return _OTHER
+
+    def eval(self, expr: ast.expr) -> AV:
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Subscript):
+            base = self.eval(expr.value)
+            self.eval(expr.slice)
+            if isinstance(expr.slice, ast.Slice):
+                # a slice of a child list is a plain copy with the same
+                # recorded elements
+                return AV(
+                    OTHER, elem_role=base.elem_role, elem_cls=base.elem_cls
+                )
+            return self._element_of(base)
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test)
+            left = self.eval(expr.body)
+            right = self.eval(expr.orelse)
+            return left if left.kind != OTHER else right
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self.eval(element)
+            return _OTHER
+        if isinstance(expr, ast.Dict):
+            for key in expr.keys:
+                if key is not None:
+                    self.eval(key)
+            for value in expr.values:
+                self.eval(value)
+            return _OTHER
+        if isinstance(expr, ast.Lambda):
+            return _OTHER
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(expr)
+        # everything else: walk children for side effects
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return _OTHER
+
+    def _eval_comprehension(self, expr) -> AV:
+        elem = _OTHER
+        for generator in expr.generators:
+            iter_av = self.eval(generator.iter)
+            self._bind_loop_target(generator.target, self._element_of(iter_av))
+            for condition in generator.ifs:
+                self.eval(condition)
+        result = self.eval(expr.elt)
+        if result.kind == RECORDED:
+            elem = AV(OTHER, elem_role="child_list", elem_cls=result.cls)
+        return elem
+
+    def _eval_name(self, name: str) -> AV:
+        av = self.env.get(name)
+        if av is not None:
+            return av
+        if name in self.nested:
+            return AV(NESTED, ref=self.nested[name])
+        if name in self.module.module_containers:
+            return AV(MCONT, ref=name)
+        if name in self.module.classes or name in self.module.all_class_names:
+            return AV(CLASSREF, ref=name)
+        if name in self.module.functions:
+            return AV(FUNCREF, ref=name)
+        return _OTHER
+
+    def _eval_attribute(self, expr: ast.Attribute) -> AV:
+        base = self.eval(expr.value)
+        attr = expr.attr
+        if base.kind == RECORDED:
+            if attr == "__dict__":
+                return AV(RAW, cls=base.cls, elem_role="dict")
+            field = attr[3:] if attr.startswith("_f_") else attr
+            decl = self.module.field_of(base.cls, field)
+            if decl is None:
+                return _OTHER
+            if decl.role == "child":
+                return AV(RECORDED, cls=decl.child_cls, fresh=False)
+            if decl.role == "child_list":
+                return AV(
+                    TRACKED, elem_role="child_list", elem_cls=decl.child_cls
+                )
+            if decl.role == "scalar_list":
+                return AV(TRACKED, elem_role="scalar_list")
+            return _OTHER
+        if base.kind == TRACKED and attr == "_items":
+            return AV(RAW, elem_role=base.elem_role, elem_cls=base.elem_cls)
+        return _OTHER
+
+    # -- calls -------------------------------------------------------------
+
+    def _eval_call(self, call: ast.Call) -> AV:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._call_name(call, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._call_method(call, func)
+        self.eval(func)
+        self._eval_args(call)
+        return _OTHER
+
+    def _eval_args(self, call: ast.Call) -> List[Tuple[ast.expr, AV]]:
+        pairs: List[Tuple[ast.expr, AV]] = []
+        for arg in call.args:
+            node = arg.value if isinstance(arg, ast.Starred) else arg
+            pairs.append((node, self.eval(node)))
+        for keyword in call.keywords:
+            pairs.append((keyword.value, self.eval(keyword.value)))
+        return pairs
+
+    def _call_name(self, call: ast.Call, name: str) -> AV:
+        if name == "Thread":
+            return self._thread_call(call)
+        if name in self.module.classes:
+            return self._constructor(call, name)
+        if name == "vars" and len(call.args) == 1:
+            target = self.eval(call.args[0])
+            if target.kind == RECORDED:
+                return AV(RAW, cls=target.cls, elem_role="dict")
+            return _OTHER
+        if name == "getattr" and len(call.args) >= 2:
+            attr = call.args[1]
+            if isinstance(attr, ast.Constant) and isinstance(attr.value, str):
+                fake = ast.Attribute(
+                    value=call.args[0], attr=attr.value, ctx=ast.Load()
+                )
+                ast.copy_location(fake, call)
+                return self._eval_attribute(fake)
+            self._eval_args(call)
+            return _OTHER
+        if name == "setattr" and len(call.args) >= 3:
+            target = self.eval(call.args[0])
+            attr = call.args[1]
+            self.eval(call.args[2])
+            if (
+                target.kind == RECORDED
+                and isinstance(attr, ast.Constant)
+                and isinstance(attr.value, str)
+                and attr.value.startswith("_f_")
+            ):
+                self._emit(
+                    "error",
+                    "alias-write-bypasses-flag",
+                    f"setattr(..., {attr.value!r}, ...) stores into the "
+                    "raw slot: the modified flag is never set",
+                    call.lineno,
+                )
+            return _OTHER
+        if name in ("list", "tuple", "sorted", "reversed") and call.args:
+            source = self.eval(call.args[0])
+            for extra in call.args[1:]:
+                self.eval(extra)
+            for keyword in call.keywords:
+                self.eval(keyword.value)
+            # a copy: plain container, recorded elements
+            return AV(
+                OTHER, elem_role=source.elem_role, elem_cls=source.elem_cls
+            )
+        if name in self.module.functions:
+            pairs = self._eval_args(call)
+            return self._summarized_call(
+                self.module.functions[name], name, call, pairs
+            )
+        if name in self.nested:
+            pairs = self._eval_args(call)
+            return self._summarized_call(
+                self.nested[name],
+                f"{self.scope_name}.{name}",
+                call,
+                pairs,
+            )
+        pairs = self._eval_args(call)
+        if name not in SAFE_BUILTINS:
+            recorded = [
+                _src(node) for node, av in pairs if av.kind == RECORDED
+            ]
+            if recorded:
+                self._emit(
+                    "info",
+                    "reference-escapes-recorded-graph",
+                    f"recorded reference {recorded[0]!r} passed to "
+                    f"unresolved callee {name!r}: its writes are not "
+                    "analyzed",
+                    call.lineno,
+                )
+                self.report.escape(
+                    self.module, "unresolved-call", name, call.lineno
+                )
+        return _OTHER
+
+    def _constructor(self, call: ast.Call, cls_name: str) -> AV:
+        cls = self.module.classes[cls_name]
+        for arg in call.args:
+            self.eval(arg)
+        for keyword in call.keywords:
+            av = self.eval(keyword.value)
+            if keyword.arg is None:
+                continue
+            decl = self.module.field_of(cls_name, keyword.arg)
+            if decl is not None and decl.role == "child":
+                self._attach(
+                    keyword.value,
+                    av,
+                    f"{cls_name}(...).{keyword.arg}",
+                    call.lineno,
+                )
+        return AV(RECORDED, cls=cls_name, fresh=True)
+
+    def _call_method(self, call: ast.Call, func: ast.Attribute) -> AV:
+        receiver = self.eval(func.value)
+        method = func.attr
+        if method == "Thread":
+            # threading.Thread(...)
+            return self._thread_call(call)
+        pairs = self._eval_args(call)
+        if receiver.kind == RAW and method in MUTATOR_METHODS:
+            self._emit(
+                "error",
+                "alias-write-bypasses-flag",
+                f"{method}() on raw view {_src(func.value)} mutates the "
+                "backing container without touching the modified flag",
+                call.lineno,
+            )
+            return _OTHER
+        if receiver.kind == MCONT and method in MUTATOR_METHODS:
+            recorded = [
+                _src(node) for node, av in pairs
+                if av.kind in (RECORDED, TRACKED, RAW)
+            ]
+            if recorded:
+                self._emit(
+                    "warning",
+                    "reference-escapes-recorded-graph",
+                    f"recorded reference {recorded[0]!r} stored into "
+                    f"module-level container {receiver.ref!r}: it "
+                    "outlives the commit discipline",
+                    call.lineno,
+                )
+                self.report.escape(
+                    self.module,
+                    "module-container",
+                    str(receiver.ref),
+                    call.lineno,
+                )
+            return _OTHER
+        if receiver.kind == TRACKED:
+            if (
+                method in ATTACHING_MUTATORS
+                and receiver.elem_role == "child_list"
+                and pairs
+            ):
+                node, av = pairs[-1] if method == "insert" else pairs[0]
+                self._attach(
+                    node, av, f"{_src(func.value)}.{method}", call.lineno
+                )
+            if method == "as_list":
+                return AV(
+                    OTHER,
+                    elem_role=receiver.elem_role,
+                    elem_cls=receiver.elem_cls,
+                )
+            return _OTHER
+        if receiver.kind == RECORDED:
+            if method == "children":
+                return AV(OTHER, elem_role="child_list")
+            cls = self.module.classes.get(receiver.cls or "")
+            target = cls.methods.get(method) if cls is not None else None
+            if target is not None:
+                return self._summarized_call(
+                    target,
+                    f"{receiver.cls}.{method}",
+                    call,
+                    pairs,
+                    self_av=receiver,
+                )
+        return _OTHER
+
+    # -- threads -----------------------------------------------------------
+
+    def _thread_call(self, call: ast.Call) -> AV:
+        target_av: Optional[AV] = None
+        target_node: Optional[ast.expr] = None
+        arg_pairs: List[Tuple[ast.expr, AV]] = []
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                target_node = keyword.value
+                target_av = self.eval(keyword.value)
+            elif keyword.arg in ("args", "kwargs"):
+                value = keyword.value
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    for element in value.elts:
+                        arg_pairs.append((element, self.eval(element)))
+                elif isinstance(value, ast.Dict):
+                    for dict_value in value.values:
+                        arg_pairs.append((dict_value, self.eval(dict_value)))
+                else:
+                    arg_pairs.append((value, self.eval(value)))
+            else:
+                self.eval(keyword.value)
+        for arg in call.args:
+            self.eval(arg)
+
+        captured = [
+            (node, av)
+            for node, av in arg_pairs
+            if av.kind in (RECORDED, TRACKED, RAW)
+        ]
+        closure_captures: List[str] = []
+        fdef: Optional[ast.FunctionDef] = None
+        qualname = "<thread-target>"
+        if target_av is not None and target_av.kind == NESTED:
+            fdef = target_av.ref
+            qualname = f"{self.scope_name}.{fdef.name}"
+            bound = {
+                arg.arg for arg in fdef.args.args + fdef.args.kwonlyargs
+            }
+            for node in ast.walk(fdef):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id not in bound
+                    and self.env.get(node.id) is not None
+                    and self.env[node.id].kind in (RECORDED, TRACKED, RAW)
+                ):
+                    closure_captures.append(node.id)
+        elif target_av is not None and target_av.kind == FUNCREF:
+            fdef = self.module.functions[target_av.ref]
+            qualname = str(target_av.ref)
+
+        if captured or closure_captures:
+            what = (
+                _src(captured[0][0]) if captured else closure_captures[0]
+            )
+            self._emit(
+                "warning",
+                "alias-captured-by-thread",
+                f"recorded reference {what!r} captured by a thread: "
+                "mutation races the commit path (see the lockset pass)",
+                call.lineno,
+            )
+            self.report.escape(
+                self.module, "thread-capture", what, call.lineno
+            )
+
+        if fdef is not None and (captured or closure_captures):
+            # interpret the worker with the captured references bound, so
+            # bypass writes inside the thread body surface as errors
+            extra_env = {
+                name: self.env[name] for name in closure_captures
+            }
+            self._summarized_call(
+                fdef, qualname, call, arg_pairs, extra_env=extra_env
+            )
+        return _OTHER
+
+    # -- interprocedural ---------------------------------------------------
+
+    def _summarized_call(
+        self,
+        fdef: ast.FunctionDef,
+        qualname: str,
+        call: ast.Call,
+        pairs: List[Tuple[ast.expr, AV]],
+        self_av: Optional[AV] = None,
+        extra_env: Optional[Dict[str, AV]] = None,
+    ) -> AV:
+        params = [arg.arg for arg in fdef.args.args]
+        bound: Dict[str, AV] = dict(extra_env or {})
+        offset = 0
+        if self_av is not None and params:
+            bound[params[0]] = self_av
+            offset = 1
+        keyword_values = {keyword.value for keyword in call.keywords}
+        positional = [
+            (node, av) for node, av in pairs if node not in keyword_values
+        ]
+        for index, param in enumerate(params[offset:]):
+            if index < len(positional):
+                bound[param] = positional[index][1]
+        # keyword args: match by the call's keyword names
+        for keyword in call.keywords:
+            if keyword.arg and keyword.arg in params:
+                for node, av in pairs:
+                    if node is keyword.value:
+                        bound[keyword.arg] = av
+                        break
+
+        sig = tuple(sorted((p, av.sig()) for p, av in bound.items()))
+        key = (self.module.filename, qualname, body_digest(fdef), sig)
+        cached = self.cache.get(key)
+        self.report.cache_hits = self.cache.hits
+        self.report.cache_misses = self.cache.misses
+        if cached is not None:
+            for severity, code, message, filename, lineno in cached.findings:
+                self.report.emit_raw(severity, code, message, filename, lineno)
+            for kind, what, filename, lineno in cached.escapes:
+                self.report.escape_raw(kind, what, filename, lineno)
+            for filename, lineno, reason, what in cached.suppressed:
+                self.module.suppressions.sites.append(
+                    SuppressedSite(filename, lineno, reason, what)
+                )
+            return cached.return_av
+        if key in self.stack or self.depth >= MAX_DEPTH:
+            return _OTHER
+
+        findings_before = len(self.report.findings)
+        escapes_before = len(self.report.escapes)
+        suppressed_before = len(self.module.suppressions.sites)
+        sub = _Interp(
+            self.module,
+            self.report,
+            self.cache,
+            depth=self.depth + 1,
+            stack=self.stack | {key},
+            scope_lineno=fdef.lineno,
+            scope_name=qualname,
+        )
+        sub.env.update(bound)
+        for param in params:
+            sub.env.setdefault(param, _OTHER)
+        sub.run(fdef.body)
+        return_av = next(
+            (av for av in sub.return_avs if av.kind == RECORDED),
+            next(
+                (av for av in sub.return_avs if av.kind != OTHER), _OTHER
+            ),
+        )
+
+        summary = _Summary(return_av)
+        for finding in self.report.findings[findings_before:]:
+            summary.findings.append(
+                (
+                    finding.severity,
+                    finding.code,
+                    finding.message,
+                    finding.filename or self.module.filename,
+                    finding.lineno or 0,
+                )
+            )
+        for site in self.report.escapes[escapes_before:]:
+            summary.escapes.append(
+                (site.kind, site.what, site.filename, site.lineno)
+            )
+        for site in self.module.suppressions.sites[suppressed_before:]:
+            summary.suppressed.append(
+                (site.filename, site.lineno, site.reason, site.what)
+            )
+        self.cache.store(key, summary)
+        return return_av
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def _annotation_class(
+    module: AliasModule, annotation: Optional[ast.expr]
+) -> Optional[str]:
+    if isinstance(annotation, ast.Name) and annotation.id in module.classes:
+        return annotation.id
+    if (
+        isinstance(annotation, ast.Attribute)
+        and annotation.attr in module.classes
+    ):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        name = annotation.value.split(".")[-1]
+        if name in module.classes:
+            return name
+    return None
+
+
+def _entry_env(module: AliasModule, fdef: ast.FunctionDef) -> Dict[str, AV]:
+    """Parameter bindings for analyzing ``fdef`` as an entry point.
+
+    Parameters annotated with an in-module checkpointable class are bound
+    recorded (non-fresh: the caller may have attached them anywhere);
+    everything else is unknown.
+    """
+    env: Dict[str, AV] = {}
+    for arg in fdef.args.args + fdef.args.kwonlyargs:
+        cls = _annotation_class(module, arg.annotation)
+        if cls is not None:
+            env[arg.arg] = AV(RECORDED, cls=cls, fresh=False)
+    return env
+
+
+def interpret_module(
+    module: AliasModule,
+    report: AliasReport,
+    cache: Optional[AliasSummaryCache] = None,
+) -> None:
+    """Run the alias rules over one extracted module.
+
+    Entry points: the module's top-level statements, every module
+    function (recorded parameters inferred from annotations), and every
+    method of a checkpointable class (``self`` bound recorded).
+    """
+    cache = cache if cache is not None else SUMMARY_CACHE
+    top = _Interp(module, report, cache, scope_name="<module>")
+    top.run(module.toplevel)
+
+    for name, fdef in module.functions.items():
+        interp = _Interp(
+            module,
+            report,
+            cache,
+            scope_lineno=fdef.lineno,
+            scope_name=name,
+        )
+        interp.env.update(_entry_env(module, fdef))
+        interp.run(fdef.body)
+
+    for cls_name, cls in module.classes.items():
+        for method_name, fdef in cls.methods.items():
+            params = [arg.arg for arg in fdef.args.args]
+            if not params:
+                continue
+            interp = _Interp(
+                module,
+                report,
+                cache,
+                scope_lineno=fdef.lineno,
+                scope_name=f"{cls_name}.{method_name}",
+            )
+            interp.env[params[0]] = AV(RECORDED, cls=cls_name, fresh=False)
+            interp.env.update(_entry_env(module, fdef))
+            interp.run(fdef.body)
+
+    for site in module.suppressions.sites:
+        report.suppressed_site(site)
+    report.modules += 1
+    report.cache_hits = cache.hits
+    report.cache_misses = cache.misses

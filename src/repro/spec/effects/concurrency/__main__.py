@@ -37,19 +37,25 @@ import threading
 from pathlib import Path
 from typing import List, Optional, Set, Tuple
 
+from repro.lint.findings import (
+    count_by_severity,
+    exit_code,
+    relativize_findings,
+    sort_findings,
+)
 from repro.spec.effects.concurrency import analyze_paths
 from repro.spec.effects.concurrency.locks import ConcurrencyReport
+from repro.spec.effects.suppress import relativize_sites
 
 
 def _render_human(report: ConcurrencyReport, show_guards: bool) -> str:
-    lines: List[str] = []
-    for finding in report.findings:
-        lines.append(f"{finding.location()}: {finding.severity}: "
-                     f"[{finding.code}] {finding.message}")
-    counts = {}
-    for finding in report.findings:
-        counts[finding.severity] = counts.get(finding.severity, 0) + 1
-    summary = ", ".join(f"{n} {sev}(s)" for sev, n in sorted(counts.items()))
+    lines: List[str] = [
+        finding.format_human() for finding in sort_findings(report.findings)
+    ]
+    counts = count_by_severity(report.findings)
+    summary = ", ".join(
+        f"{n} {sev}(s)" for sev, n in sorted(counts.items()) if n
+    )
     lines.append(f"concurrency: {summary or 'no findings'}")
     if report.suppressed:
         lines.append(f"{len(report.suppressed)} suppressed site(s):")
@@ -75,8 +81,10 @@ def _render_human(report: ConcurrencyReport, show_guards: bool) -> str:
 
 
 def _render_json(report: ConcurrencyReport) -> str:
+    # one schema across every lint pass: Finding.to_dict() records plus
+    # the shared severity counts (repro.lint renders the same shape)
     payload = {
-        "findings": [f.to_dict() for f in report.findings],
+        "findings": [f.to_dict() for f in sort_findings(report.findings)],
         "guards": [
             {
                 "class": g.owner,
@@ -99,10 +107,7 @@ def _render_json(report: ConcurrencyReport) -> str:
             }
             for s in report.suppressed
         ],
-        "counts": {
-            sev: sum(1 for f in report.findings if f.severity == sev)
-            for sev in ("error", "warning", "hint")
-        },
+        "counts": count_by_severity(report.findings),
     }
     return json.dumps(payload, indent=2, default=list)
 
@@ -358,12 +363,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    relativize_findings(report.findings)
+    relativize_sites(report.suppressed)
     if args.format == "json":
         print(_render_json(report))
     else:
         print(_render_human(report, show_guards=not args.no_guards))
-    has_error = any(f.severity == "error" for f in report.findings)
-    return 1 if has_error else 0
+    return exit_code(report.findings)
 
 
 if __name__ == "__main__":

@@ -34,9 +34,13 @@ evaluation and recorded with its provenance instead; a ``# race-ok`` on a
 from __future__ import annotations
 
 import ast
-import io
-import tokenize
 from typing import Dict, List, Optional, Set, Tuple
+
+from repro.spec.effects.suppress import (
+    RACE_OK,
+    SuppressedSite,
+    suppression_lines,
+)
 
 #: constructor names that create a mutual-exclusion guard
 LOCK_FACTORIES = {"Lock", "RLock"}
@@ -97,9 +101,6 @@ BLOCKING_CALLS = {
     ("subprocess", "check_call"),
     ("subprocess", "check_output"),
 }
-
-#: the suppression marker recognized in comments
-RACE_OK = "race-ok"
 
 
 class LockDecl:
@@ -286,23 +287,6 @@ class ClassModel:
         )
 
 
-class SuppressedSite:
-    """One finding-worthy site silenced by a ``# race-ok`` annotation."""
-
-    __slots__ = ("filename", "lineno", "reason", "what")
-
-    def __init__(
-        self, filename: str, lineno: int, reason: str, what: str
-    ) -> None:
-        self.filename = filename
-        self.lineno = lineno
-        self.reason = reason
-        self.what = what
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SuppressedSite({self.filename}:{self.lineno}, {self.what})"
-
-
 class ModuleModel:
     """The extracted model of one file."""
 
@@ -317,22 +301,10 @@ class ModuleModel:
 def race_ok_lines(source: str) -> Dict[int, str]:
     """Map line numbers carrying a ``# race-ok`` comment to their reason.
 
-    Real tokenization (not substring search) so a ``race-ok`` inside a
-    string literal never suppresses anything.
+    Thin wrapper over the shared tokenize-based scanner in
+    :mod:`repro.spec.effects.suppress`, kept for the pass's public API.
     """
-    found: Dict[int, str] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
-            if token.type != tokenize.COMMENT:
-                continue
-            text = token.string.lstrip("#").strip()
-            if text == RACE_OK or text.startswith(RACE_OK + ":"):
-                reason = text[len(RACE_OK) :].lstrip(":").strip()
-                found[token.start[0]] = reason or "unspecified"
-    except tokenize.TokenError:
-        pass
-    return found
+    return suppression_lines(source, RACE_OK)
 
 
 # ---------------------------------------------------------------------------

@@ -152,6 +152,75 @@ class TestRaceRules:
         assert "unguarded-shared-write" not in out
 
 
+_ALIASED = (
+    "from repro.core.checkpointable import Checkpointable\n"
+    "from repro.core.fields import child, scalar\n"
+    "\n"
+    "class AliasLeafL(Checkpointable):\n"
+    "    value = scalar('int')\n"
+    "\n"
+    "class AliasNodeL(Checkpointable):\n"
+    "    kid = child(AliasLeafL)\n"
+    "\n"
+    "def poke(node: AliasNodeL):\n"
+    "    node.kid._f_value = 5\n"
+)
+
+
+class TestAliasRules:
+    def test_alias_bug_fails_the_lint(self, tmp_path, capsys):
+        bad = tmp_path / "aliased.py"
+        bad.write_text(_ALIASED)
+        code, out = run_cli(["--no-import", str(bad)], capsys)
+        assert code == 1
+        assert "alias-write-bypasses-flag" in out
+
+    def test_no_aliases_flag_skips_the_pass(self, tmp_path, capsys):
+        bad = tmp_path / "aliased.py"
+        bad.write_text(_ALIASED)
+        code, out = run_cli(
+            ["--no-import", "--no-aliases", str(bad)], capsys
+        )
+        assert code == 0
+        assert "alias-write-bypasses-flag" not in out
+
+    def test_alias_ok_annotation_suppresses(self, tmp_path, capsys):
+        bad = tmp_path / "annotated_alias.py"
+        bad.write_text(
+            _ALIASED.replace(
+                "    node.kid._f_value = 5\n",
+                "    # alias-ok: exercised by the suppression test\n"
+                "    node.kid._f_value = 5\n",
+            )
+        )
+        code, out = run_cli(["--no-import", str(bad)], capsys)
+        assert code == 0
+        assert "alias-write-bypasses-flag" not in out
+
+    def test_identical_findings_are_deduped(self, tmp_path, capsys):
+        from repro.lint.findings import Finding, dedupe_findings
+
+        findings = [
+            Finding("error", "x-code", "same message", "f.py", 3),
+            Finding("error", "x-code", "same message", "f.py", 3),
+            Finding("error", "x-code", "other message", "f.py", 3),
+        ]
+        assert len(dedupe_findings(findings)) == 2
+        # and the CLI output carries no duplicate rows
+        bad = tmp_path / "aliased.py"
+        bad.write_text(_ALIASED)
+        code, out = run_cli(
+            ["--no-import", "--format", "json", str(bad)], capsys
+        )
+        assert code == 1
+        data = json.loads(out)
+        rows = [
+            (f["code"], f["file"], f["line"], f["message"])
+            for f in data["findings"]
+        ]
+        assert len(rows) == len(set(rows))
+
+
 class TestRelativePaths:
     def test_json_paths_under_cwd_are_relative(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO)
