@@ -56,6 +56,7 @@ from repro.core.errors import (
 )
 from repro.core.fields import child, child_list, scalar, scalar_list
 from repro.core.info import CheckpointInfo
+from repro.core.replica import ReplicatedStore, Scrubber
 from repro.core.restore import apply_incremental, replay, restore_full
 from repro.core.storage import FileStore, MemoryStore
 from repro.core.streams import DataInputStream, DataOutputStream
@@ -118,6 +119,8 @@ __all__ = [
     "replay",
     "MemoryStore",
     "FileStore",
+    "ReplicatedStore",
+    "Scrubber",
     "CheckpointSession",
     "CommitReceipt",
     "CommitResult",

@@ -17,6 +17,7 @@ permanent, because retrying those can only mask them.
 
 from __future__ import annotations
 
+import errno
 import random
 import time
 from dataclasses import dataclass, field
@@ -24,18 +25,35 @@ from typing import Callable, List, Optional
 
 from repro.core.errors import CheckpointError
 
+#: ``OSError`` errnos that describe a *state* of the volume, not a blip:
+#: a full disk (ENOSPC, EDQUOT) or a read-only remount (EROFS) will not
+#: clear in a backoff window, and retrying only delays the real handling
+#: (degrade the replica, fence the volume, surface the error).
+_PERMANENT_ERRNOS = frozenset(
+    code
+    for code in (
+        getattr(errno, "ENOSPC", None),
+        getattr(errno, "EROFS", None),
+        getattr(errno, "EDQUOT", None),
+    )
+    if code is not None
+)
+
 
 def transient_oserror(exc: BaseException) -> bool:
     """The default transient classifier: ``OSError`` or an ``OSError`` cause.
 
     A wrapped error (e.g. a :class:`~repro.core.errors.StorageError`
     raised ``from`` an ``OSError``) counts, so stores that translate
-    exceptions keep their retry behaviour.
+    exceptions keep their retry behaviour. Errnos naming a persistent
+    volume state — ``ENOSPC``, ``EROFS``, ``EDQUOT`` — are **not**
+    transient: a full or read-only disk does not heal inside a backoff
+    window, while ``EAGAIN``/``EINTR``-style blips do.
     """
-    if isinstance(exc, OSError):
-        return True
-    cause = exc.__cause__
-    return isinstance(cause, OSError)
+    cause = exc if isinstance(exc, OSError) else exc.__cause__
+    if not isinstance(cause, OSError):
+        return False
+    return cause.errno not in _PERMANENT_ERRNOS
 
 
 @dataclass(frozen=True)

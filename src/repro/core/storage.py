@@ -114,6 +114,40 @@ class CheckpointStore:
         """All intact epochs, oldest first."""
         raise NotImplementedError
 
+    def epoch_map(self) -> Dict[int, Epoch]:
+        """Every *individually* intact epoch, keyed by index.
+
+        Unlike :meth:`epochs` this view does not stop at the first
+        damaged or missing epoch — replica repair needs to see the
+        intact epochs on the far side of a hole, because a peer may
+        supply the missing link. The default derives the map from
+        :meth:`epochs`; file-backed stores override it with a
+        per-file tolerant read.
+        """
+        return {epoch.index: epoch for epoch in self.epochs()}
+
+    def put_epoch(self, epoch: Epoch, overwrite: bool = False) -> None:
+        """Write ``epoch`` at *its own* index (the read-repair primitive).
+
+        Unlike :meth:`append`, which assigns the next index, this places
+        a known epoch — copied byte-for-byte from a healthy replica —
+        into its slot, lineage metadata included. ``overwrite`` allows
+        replacing an existing (quarantined-first) divergent record.
+        """
+        raise StorageError(
+            f"{type(self).__name__} does not support epoch repair"
+        )
+
+    def quarantine_epoch(self, index: int, reason: str = "") -> Optional[str]:
+        """Move epoch ``index`` aside (never delete) before a repair.
+
+        Returns a human-readable token for what was quarantined, or
+        ``None`` when there was nothing at that index.
+        """
+        raise StorageError(
+            f"{type(self).__name__} does not support epoch quarantine"
+        )
+
     def lineage(self) -> Lineage:
         """The epoch graph of everything currently in the store."""
         return Lineage(self.epochs())
@@ -175,6 +209,8 @@ class MemoryStore(CheckpointStore):
         self._branch_tips: Dict[str, int] = {}
         self._names: Dict[str, int] = {}
         self._last_branch: Optional[str] = None
+        #: divergent epochs set aside by :meth:`quarantine_epoch`
+        self.quarantined: List[tuple] = []
         self._lock = threading.Lock()
 
     def append(
@@ -227,6 +263,55 @@ class MemoryStore(CheckpointStore):
     def epochs(self) -> List[Epoch]:
         with self._lock:
             return list(self._epochs)
+
+    def epoch_map(self) -> Dict[int, Epoch]:
+        with self._lock:
+            return {epoch.index: epoch for epoch in self._epochs}
+
+    def put_epoch(self, epoch: Epoch, overwrite: bool = False) -> None:
+        if epoch.kind not in _KIND_CODES:
+            raise StorageError(f"unknown checkpoint kind {epoch.kind!r}")
+        with self._lock:
+            if epoch.index > len(self._epochs):
+                raise StorageError(
+                    f"cannot repair epoch {epoch.index}: store holds "
+                    f"{len(self._epochs)} epoch(s) and a memory store "
+                    "cannot represent a hole"
+                )
+            if epoch.index == len(self._epochs):
+                self._epochs.append(epoch)
+            else:
+                if not overwrite:
+                    raise StorageError(
+                        f"epoch {epoch.index} already exists "
+                        "(overwrite=True replaces it)"
+                    )
+                self._epochs[epoch.index] = epoch
+            self._rebuild_maps()
+
+    def quarantine_epoch(self, index: int, reason: str = "") -> Optional[str]:
+        """Keep a copy of the divergent record aside; the slot stays.
+
+        A list-backed store cannot hole, so quarantine preserves the
+        record in :attr:`quarantined` and leaves the slot for the
+        ``put_epoch(..., overwrite=True)`` repair that follows.
+        """
+        with self._lock:
+            if not 0 <= index < len(self._epochs):
+                return None
+            self.quarantined.append((index, reason, self._epochs[index]))
+            return f"epoch-{index:06d} (copy kept in memory)"
+
+    def _rebuild_maps(self) -> None:
+        # caller holds _lock
+        self._branch_tips = {}
+        self._names = {}
+        self._last_branch = None
+        for epoch in self._epochs:
+            self._branch_tips[epoch.branch] = epoch.index
+            if epoch.name is not None:
+                self._names[epoch.name] = epoch.index
+            self._last_branch = epoch.branch
 
 
 class FileStore(CheckpointStore):
@@ -509,17 +594,25 @@ class FileStore(CheckpointStore):
                     pass  # a leftover file only wastes space, never safety
                 self._verified.pop(index, None)
                 self._lineage.pop(index, None)
-            self._branch_tips = {}
-            self._names = {}
-            last = None
-            for index, _ in self._epoch_files():
-                meta = self._lineage.get(index) or _implied_lineage(index)
-                self._branch_tips[meta["branch"]] = index
-                if meta.get("name") is not None:
-                    self._names[meta["name"]] = index
-                last = meta["branch"]
-            self._last_branch = last
+            self._rebuild_maps()
             self._write_manifest()
+
+    def _rebuild_maps(self) -> None:
+        """Recompute branch tips / names from the files on disk.
+
+        Caller holds ``_lock``. Used after any operation that changes
+        the epoch set out of append order (compaction, epoch repair).
+        """
+        self._branch_tips = {}
+        self._names = {}
+        last = None
+        for index, _ in self._epoch_files():
+            meta = self._lineage.get(index) or _implied_lineage(index)
+            self._branch_tips[meta["branch"]] = index
+            if meta.get("name") is not None:
+                self._names[meta["name"]] = index
+            last = meta["branch"]
+        self._last_branch = last
 
     # -- reading --------------------------------------------------------------
 
@@ -578,6 +671,139 @@ class FileStore(CheckpointStore):
                     self._verified[index] = (signature, epoch)
                 result.append(epoch)
             return result
+
+    def epoch_map(self) -> Dict[int, Epoch]:
+        """Every individually intact epoch, keyed by index.
+
+        Unlike :meth:`epochs` this does not stop at the first damaged or
+        missing file — a replica with a hole still exposes the intact
+        epochs past it, so a peer-driven repair of the hole makes the
+        whole suffix readable again without rewriting it.
+        """
+        with self._lock:
+            result: Dict[int, Epoch] = {}
+            for index, path in self._epoch_files():
+                signature = self._stat_signature(path)
+                cached = self._verified.get(index)
+                if (
+                    cached is not None
+                    and signature is not None
+                    and cached[0] == signature
+                ):
+                    result[index] = cached[1]
+                    continue
+                self._verified.pop(index, None)
+                data = self._read_epoch(path)
+                if data is None:
+                    continue  # damaged: skip it, keep scanning
+                meta = self._lineage.get(index) or _implied_lineage(index)
+                epoch = Epoch(
+                    index,
+                    data[0],
+                    data[1],
+                    meta["parent"],
+                    meta["branch"],
+                    meta.get("name"),
+                )
+                if signature is not None:
+                    self._verified[index] = (signature, epoch)
+                result[index] = epoch
+            return result
+
+    def put_epoch(self, epoch: Epoch, overwrite: bool = False) -> None:
+        """Place ``epoch`` at its own index — the read-repair primitive.
+
+        Writes the same frame :meth:`append` would have written (so a
+        repaired replica is byte-identical to a healthy one when both
+        use the same compression setting) plus the epoch's lineage
+        entry, and refreshes the branch-tip/name maps and the next-index
+        counter. ``overwrite=False`` refuses to touch an existing file.
+        """
+        if epoch.kind not in _KIND_CODES:
+            raise StorageError(f"unknown checkpoint kind {epoch.kind!r}")
+        with self._lock:
+            path = self._epoch_path(epoch.index)
+            if os.path.exists(path) and not overwrite:
+                raise StorageError(
+                    f"epoch {epoch.index} already exists in "
+                    f"{self.directory!r} (overwrite=True replaces it)"
+                )
+            prior = self._lineage.get(epoch.index)
+            self._lineage[epoch.index] = {
+                "parent": epoch.parent,
+                "branch": epoch.branch,
+                "kind": epoch.kind,
+                "name": epoch.name,
+            }
+            self._write_manifest()
+            plain = bytes(epoch.data)
+            if self.compress:
+                payload = zlib.compress(plain, level=6)
+                code = _COMPRESSED_CODES[epoch.kind]
+            else:
+                payload = plain
+                code = _KIND_CODES[epoch.kind]
+            header = _HEADER.pack(
+                _MAGIC, _VERSION, code, len(payload), zlib.crc32(payload)
+            )
+            tmp_path = path + ".tmp"
+            try:
+                with open(tmp_path, "wb") as handle:
+                    handle.write(header)
+                    handle.write(payload)
+                    handle.flush()
+                    # Matching append(): the file and the caches must
+                    # appear atomically to concurrent readers.
+                    # race-ok: fsync under _lock is deliberate (see above)
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, path)
+            except BaseException:
+                if prior is None:
+                    self._lineage.pop(epoch.index, None)
+                else:
+                    self._lineage[epoch.index] = prior
+                raise
+            signature = self._stat_signature(path)
+            if signature is not None:
+                self._verified[epoch.index] = (
+                    signature,
+                    Epoch(
+                        epoch.index,
+                        epoch.kind,
+                        plain,
+                        epoch.parent,
+                        epoch.branch,
+                        epoch.name,
+                    ),
+                )
+            else:
+                self._verified.pop(epoch.index, None)
+            if self._next is not None and epoch.index >= self._next:
+                self._next = epoch.index + 1
+            self._rebuild_maps()
+
+    def quarantine_epoch(self, index: int, reason: str = "") -> Optional[str]:
+        """Move epoch ``index``'s file into ``quarantine/`` (never delete).
+
+        The lineage entry is kept — the repair that follows rewrites it,
+        and an unrepaired stale entry is pruned on the next reopen, the
+        same way a crashed append's entry is.
+        """
+        with self._lock:
+            path = self._epoch_path(index)
+            if not os.path.exists(path):
+                return None
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            target = os.path.join(self.quarantine_dir, os.path.basename(path))
+            if os.path.exists(target):
+                stem = 0
+                while os.path.exists(f"{target}.{stem}"):
+                    stem += 1
+                target = f"{target}.{stem}"
+            os.replace(path, target)
+            self._verified.pop(index, None)
+            self.quarantined.append(target)
+            return target
 
     @staticmethod
     def _stat_signature(path: str) -> Optional[tuple]:
@@ -858,6 +1084,45 @@ class BackgroundWriter(CheckpointStore):
             return ""
         return f" ({self.dropped} queued epoch(s) discarded, not written)"
 
+    def _replica_suffix(self) -> str:
+        """Per-replica undurable counts, when the backing reports them.
+
+        A :class:`~repro.core.replica.ReplicatedStore` knows which
+        replicas are missing how many quorum-committed epochs; a flush
+        timeout should name them, not just the aggregate queue depth.
+        """
+        counts = getattr(self.backing, "undurable_counts", None)
+        if not callable(counts):
+            return ""
+        try:
+            per_replica = counts()
+        except (StorageError, OSError):
+            return ""
+        if not per_replica or not any(per_replica.values()):
+            return ""
+        detail = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(per_replica.items())
+            if count
+        )
+        return f" (per-replica undurable epochs: {detail})"
+
+    def _flush_backing(self, deadline: Optional[float]) -> None:
+        """Propagate flush into the backing store when it supports one.
+
+        A wrapped :class:`~repro.core.replica.ReplicatedStore` uses this
+        to drive catch-up repair of behind replicas and to flush its own
+        children, so ``flush`` really means "durable on a quorum", not
+        merely "left my queue".
+        """
+        backing_flush = getattr(self.backing, "flush", None)
+        if not callable(backing_flush):
+            return
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.monotonic())
+        backing_flush(remaining)
+
     # -- CheckpointStore interface ------------------------------------------
 
     def append(
@@ -925,12 +1190,15 @@ class BackgroundWriter(CheckpointStore):
         """
         if self._writer_died():
             self._degrade()
+        deadline = None if timeout is None else time.monotonic() + timeout
         if not self._idle.wait(timeout):
             raise StorageError(
                 "timed out waiting for checkpoint writer: "
                 f"{self._pending()} epoch(s) still queued, not durable"
+                + self._replica_suffix()
             )
         self._check()
+        self._flush_backing(deadline)
 
     def close(self, timeout: Optional[float] = None) -> None:
         """Flush, stop the writer thread, and surface any pending error.
@@ -945,6 +1213,7 @@ class BackgroundWriter(CheckpointStore):
             return
         if self._writer_died():
             self._degrade()
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._state_lock:
             self._closed = True
         try:
@@ -952,11 +1221,16 @@ class BackgroundWriter(CheckpointStore):
                 raise StorageError(
                     "timed out waiting for checkpoint writer: "
                     f"{self._pending()} epoch(s) still queued, not durable"
+                    + self._replica_suffix()
                 )
         finally:
             self._queue.put(self._STOP)
             self._thread.join(timeout)
         self._check()
+        self._flush_backing(deadline)
+        backing_close = getattr(self.backing, "close", None)
+        if callable(backing_close):
+            backing_close()
 
     def epochs(self) -> List[Epoch]:
         """Durable epochs (pending queued writes are not yet included)."""

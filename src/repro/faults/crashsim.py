@@ -55,6 +55,11 @@ from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
 )
+from repro.faults.replicasim import (
+    REPLICA_PATH,
+    ReplicaSim,
+    build_replica_matrix,
+)
 from repro.fsck.manager import RecoveryManager
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.session import CheckpointSession
@@ -63,8 +68,10 @@ from repro.runtime.sink import StoreSink
 #: the branching time-travel path, handled by :class:`BranchSim`
 BRANCH_PATH = "branch"
 
-#: the commit paths the matrix must cover
-PATHS = ("store", "sink", "background", BRANCH_PATH)
+#: the commit paths the matrix must cover (the ``replica`` path runs
+#: the same workload through a 3-way :class:`ReplicatedStore`, handled
+#: by :class:`~repro.faults.replicasim.ReplicaSim`)
+PATHS = ("store", "sink", "background", BRANCH_PATH, REPLICA_PATH)
 
 #: size of the epoch frame header, for torn-write offset sweeps
 HEADER_SIZE = 14
@@ -265,7 +272,9 @@ class CrashSim:
             )
             return StoreSink(writer)
         raise StorageError(
-            f"scenario path {scenario.path!r} needs BranchSim, not CrashSim"
+            f"scenario path {scenario.path!r} needs "
+            f"{'ReplicaSim' if scenario.path == REPLICA_PATH else 'BranchSim'}"
+            ", not CrashSim"
         )
 
     def run_scenario(self, scenario: Scenario) -> ScenarioResult:
@@ -651,7 +660,7 @@ def build_branch_matrix(
 
 
 def build_matrix(seed: int = 20260806, epochs: int = 6) -> List[Scenario]:
-    """The acceptance matrix: ≥ 50 scenarios across all three paths.
+    """The acceptance matrix: ≥ 50 scenarios across all write paths.
 
     Systematic coverage first — every crash point on every path, torn
     writes at every byte through the header and into the payload, bit
@@ -732,6 +741,9 @@ def build_matrix(seed: int = 20260806, epochs: int = 6) -> List[Scenario]:
         )
     # The branching time-travel script, with its session crash points.
     scenarios.extend(build_branch_matrix())
+    # The replicated store: volume loss, silent per-replica corruption,
+    # torn acked writes, quorum loss, all-ack quorums, a 5-wide group.
+    scenarios.extend(build_replica_matrix(epochs=epochs))
     return scenarios
 
 
@@ -740,11 +752,17 @@ def run(
 ) -> dict:
     """Run the full matrix; returns a JSON-serializable summary."""
     scenarios = build_matrix(seed=seed, epochs=epochs)
-    linear = [s for s in scenarios if s.path != BRANCH_PATH]
+    linear = [
+        s for s in scenarios if s.path not in (BRANCH_PATH, REPLICA_PATH)
+    ]
     branching = [s for s in scenarios if s.path == BRANCH_PATH]
+    replicated = [s for s in scenarios if s.path == REPLICA_PATH]
     results = CrashSim(root_dir).run_matrix(linear)
     results += BranchSim(os.path.join(root_dir, BRANCH_PATH)).run_matrix(
         branching
+    )
+    results += ReplicaSim(os.path.join(root_dir, REPLICA_PATH)).run_matrix(
+        replicated
     )
     failures = [result for result in results if not result.ok]
     return {

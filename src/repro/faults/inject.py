@@ -31,12 +31,16 @@ from repro.core.retry import RetryPolicy
 from repro.core.storage import CheckpointStore, Epoch, FileStore
 from repro.faults.plan import (
     BITFLIP,
+    CORRUPT_REPLICA,
     CRASH_AFTER,
     CRASH_BEFORE,
     CRASH_TMP,
+    KILL_REPLICA,
+    REPLICA_KINDS,
     SESSION_KINDS,
     STALL,
     TORN,
+    TORN_REPLICA,
     TRANSIENT,
     FaultPlan,
     FaultSpec,
@@ -86,6 +90,11 @@ class FaultyStore(CheckpointStore):
                 raise CheckpointError(
                     f"fault kind {spec.kind!r} is a session-level crash "
                     "point; it cannot run on a store's append stream"
+                )
+            if spec.kind in REPLICA_KINDS:
+                raise CheckpointError(
+                    f"fault kind {spec.kind!r} targets one replica of a "
+                    "ReplicatedStore; arm it with ReplicaFaultStore"
                 )
         self.backing = backing
         self.plan = plan
@@ -181,6 +190,131 @@ class FaultyStore(CheckpointStore):
 
     def recover(self, registry=None, at=None):
         return self.backing.recover(registry, at=at)
+
+
+class ReplicaFaultStore(CheckpointStore):
+    """Execute replica-targeted faults against *one* replica's stream.
+
+    Wrap each child of a :class:`~repro.core.replica.ReplicatedStore`
+    with one of these (same plan, distinct ``replica`` ordinals); a spec
+    only fires on the wrapper whose ordinal matches. ``op`` counts
+    appends the replicated store fans out, so every wrapper sees the
+    same op numbering.
+
+    ``kill-replica`` makes every subsequent operation raise ``OSError``
+    (a pulled volume — the process survives). ``corrupt-replica-record``
+    and ``torn-replica-write`` let the append succeed, then damage the
+    stored record *through* :meth:`put_epoch`, which recomputes the
+    child store's CRC frame — so the damage is invisible to the child
+    and only the replicated store's end-to-end sha256 (or a byte-compare
+    scrub) can catch it. Torn damage on a file-backed child truncates
+    the file directly instead, modelling a physically torn write.
+    """
+
+    def __init__(
+        self,
+        backing: CheckpointStore,
+        plan: FaultPlan,
+        replica: int,
+    ) -> None:
+        self.backing = backing
+        self.plan = plan
+        self.replica = replica
+        #: append operations observed by this wrapper
+        self.ops = 0
+        #: whether kill-replica has fired
+        self.dead = False
+        #: human-readable record of every fault actually injected
+        self.injected: List[str] = []
+
+    def _check_dead(self) -> None:
+        if self.dead:
+            raise OSError(
+                f"injected replica death: replica {self.replica} is gone"
+            )
+
+    def _damage_record(self, index: int, spec: FaultSpec) -> None:
+        epoch = self.backing.epoch_map().get(index)
+        if epoch is None or not epoch.data:
+            return
+        if spec.kind == CORRUPT_REPLICA:
+            data = bytearray(epoch.data)
+            position = int(spec.param) % len(data)
+            data[position] ^= 0xFF
+            self.backing.put_epoch(
+                epoch._replace(data=bytes(data)), overwrite=True
+            )
+            self.injected.append(
+                f"replica {self.replica}: corrupted byte {position} of "
+                f"epoch {index}"
+            )
+            return
+        # torn-replica-write
+        keep = min(int(spec.param), max(len(epoch.data) - 1, 0))
+        if isinstance(self.backing, FileStore):
+            path = self.backing._epoch_path(index)
+            size = os.path.getsize(path)
+            with open(path, "rb+") as handle:
+                handle.truncate(min(keep, max(size - 1, 0)))
+            # the cached verified payload must not outlive the damage
+            with self.backing._lock:
+                self.backing._verified.pop(index, None)
+        else:
+            self.backing.put_epoch(
+                epoch._replace(data=bytes(epoch.data[:keep])),
+                overwrite=True,
+            )
+        self.injected.append(
+            f"replica {self.replica}: tore epoch {index} at byte {keep}"
+        )
+
+    # -- CheckpointStore interface -----------------------------------------
+
+    def append(self, kind: str, data: bytes, **lineage) -> int:
+        spec = self.plan.for_op(self.ops)
+        self.ops += 1
+        if (
+            spec is not None
+            and spec.kind == KILL_REPLICA
+            and spec.replica == self.replica
+        ):
+            self.dead = True
+            self.injected.append(
+                f"replica {self.replica} died at op {spec.op}"
+            )
+        self._check_dead()
+        index = self.backing.append(kind, data, **lineage)
+        if (
+            spec is not None
+            and spec.replica == self.replica
+            and spec.kind in (CORRUPT_REPLICA, TORN_REPLICA)
+        ):
+            self._damage_record(index, spec)
+        return index
+
+    def epochs(self) -> List[Epoch]:
+        self._check_dead()
+        return self.backing.epochs()
+
+    def epoch_map(self) -> Dict[int, Epoch]:
+        self._check_dead()
+        return self.backing.epoch_map()
+
+    def put_epoch(self, epoch: Epoch, overwrite: bool = False) -> None:
+        self._check_dead()
+        self.backing.put_epoch(epoch, overwrite=overwrite)
+
+    def quarantine_epoch(self, index: int, reason: str = ""):
+        self._check_dead()
+        return self.backing.quarantine_epoch(index, reason)
+
+    def recover(self, registry=None, at=None):
+        self._check_dead()
+        return self.backing.recover(registry, at=at)
+
+    def _serial_translation(self, registry):
+        self._check_dead()
+        return self.backing._serial_translation(registry)
 
 
 class FaultySink(StoreSink):

@@ -38,6 +38,19 @@ Fault kinds
     store's append stream — the crash simulator arms them on the session
     itself — so :class:`~repro.faults.inject.FaultyStore` rejects plans
     containing them.
+``kill-replica``
+    Replica ``replica`` dies at op ``op``: every operation on it raises
+    ``OSError`` from then on — a pulled volume. The *process* survives;
+    the replicated store's quorum must absorb the loss.
+``corrupt-replica-record``
+    The append on replica ``replica`` succeeds, then byte ``param`` of
+    the stored record is flipped **through the store's own framing** —
+    the child CRC is recomputed, so only the end-to-end sha256 can catch
+    it. Silent; the replica keeps acking.
+``torn-replica-write``
+    The append on replica ``replica`` is acked, then its record is
+    truncated at byte ``param`` — a torn write the volume lied about.
+    Silent at inject time; detected at read/scrub time.
 """
 
 from __future__ import annotations
@@ -57,6 +70,9 @@ CRASH_AFTER = "crash-after"
 CRASH_TMP = "crash-tmp"
 CRASH_RESTORE = "crash-restore"
 CRASH_FORK = "crash-fork"
+KILL_REPLICA = "kill-replica"
+CORRUPT_REPLICA = "corrupt-replica-record"
+TORN_REPLICA = "torn-replica-write"
 
 #: kinds injected at a store's append stream (what ``generate`` draws from)
 ALL_KINDS = (
@@ -70,8 +86,10 @@ ALL_KINDS = (
 )
 #: kinds armed on a session's restore/fork path, not on appends
 SESSION_KINDS = (CRASH_RESTORE, CRASH_FORK)
+#: kinds targeting one replica of a ReplicatedStore, not the process
+REPLICA_KINDS = (KILL_REPLICA, CORRUPT_REPLICA, TORN_REPLICA)
 #: every kind a FaultSpec may carry
-KNOWN_KINDS = ALL_KINDS + SESSION_KINDS
+KNOWN_KINDS = ALL_KINDS + SESSION_KINDS + REPLICA_KINDS
 #: kinds that end the run (the simulated process dies at this point)
 CRASH_KINDS = (TORN, CRASH_BEFORE, CRASH_AFTER, CRASH_TMP) + SESSION_KINDS
 
@@ -83,13 +101,15 @@ class FaultSpec:
     ``op`` counts append operations on the faulty store from 0; ``param``
     is the kind-specific knob (truncation byte, flipped bit, stall
     seconds); ``attempts`` is how many times a ``transient`` fault fires
-    before the operation succeeds.
+    before the operation succeeds; ``replica`` selects the target
+    replica for the replica-scoped kinds (ignored otherwise).
     """
 
     op: int
     kind: str
     param: float = 0.0
     attempts: int = 1
+    replica: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KNOWN_KINDS:
@@ -117,6 +137,18 @@ class FaultSpec:
         if self.kind in SESSION_KINDS:
             point = "enter" if int(self.param) == 0 else "exit"
             return f"op {self.op}: {self.kind} at {point}"
+        if self.kind == KILL_REPLICA:
+            return f"op {self.op}: replica {self.replica} dies"
+        if self.kind == CORRUPT_REPLICA:
+            return (
+                f"op {self.op}: replica {self.replica} record byte "
+                f"{int(self.param)} corrupted"
+            )
+        if self.kind == TORN_REPLICA:
+            return (
+                f"op {self.op}: replica {self.replica} record torn at "
+                f"byte {int(self.param)}"
+            )
         return f"op {self.op}: {self.kind}"
 
 

@@ -1,4 +1,4 @@
-"""``python -m repro.fsck``: scan/repair a checkpoint directory.
+"""``python -m repro.fsck``: scan/repair checkpoint directories.
 
 Examples::
 
@@ -6,15 +6,29 @@ Examples::
     python -m repro.fsck ckpts/ --json          # machine-readable scan
     python -m repro.fsck ckpts/ --repair        # quarantine damage, exit 0
     python -m repro.fsck ckpts/ --quarantine q/ # custom quarantine dir
+    python -m repro.fsck r0/ r1/ r2/ --scrub    # replica set: byte-compare
+                                                # against the quorum copy,
+                                                # quarantine + read-repair
 
-Exit codes: ``0`` — directory is consistent (or was repaired into
-consistency); ``1`` — inconsistencies found and not repaired (or repair
-left the store unrecoverable); ``2`` — usage or I/O error.
+With one directory the tool behaves (and emits JSON) exactly as it
+always has. With several directories they are treated as replicas of
+one replicated store: each is scanned (or repaired) individually, and
+``--scrub`` additionally runs the
+:meth:`~repro.core.replica.ReplicatedStore.scrub` sweep — every record
+is byte-compared against a checksum-valid quorum copy; divergent or
+unreadable records are quarantined (never deleted) and rewritten from
+healthy peers.
+
+Exit codes: ``0`` — every directory is consistent (or was repaired into
+consistency) and, under ``--scrub``, every detected divergence was
+healed; ``1`` — inconsistencies or unrepairable records remain; ``2`` —
+usage or I/O error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.errors import StorageError
@@ -48,16 +62,70 @@ def _human(report, out) -> None:
         print(f"  * {action}", file=out)
 
 
+def _human_scrub(scrub, out) -> None:
+    print(
+        f"scrub: {len(scrub.replicas)} replica(s), "
+        f"{scrub.epochs_checked} epoch(s) checked, "
+        f"{len(scrub.repaired)} repaired, "
+        f"{len(scrub.quarantined)} quarantined, "
+        f"{len(scrub.unrepairable)} unrepairable",
+        file=out,
+    )
+    for entry in scrub.repaired:
+        print(
+            f"  * {entry['replica']}: epoch {entry['index']} "
+            f"{entry['action']} from quorum copy",
+            file=out,
+        )
+    for token in scrub.quarantined:
+        print(f"  * quarantined {token}", file=out)
+    for index in scrub.unrepairable:
+        print(
+            f"  ! epoch {index}: no checksum-valid copy on any replica",
+            file=out,
+        )
+    for error in scrub.errors:
+        print(f"  ! repair failed: {error}", file=out)
+
+
+def _run_scrub(directories):
+    from repro.core.replica import ReplicatedStore
+    from repro.core.storage import FileStore
+
+    store = ReplicatedStore(
+        [FileStore(directory) for directory in directories],
+        names=list(directories),
+    )
+    return store.scrub()
+
+
 def main(argv=None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fsck",
-        description="Check (and repair) a FileStore checkpoint directory.",
+        description=(
+            "Check (and repair) FileStore checkpoint directories; several "
+            "directories are treated as replicas of one replicated store."
+        ),
     )
-    parser.add_argument("directory", help="checkpoint directory to check")
+    parser.add_argument(
+        "directories",
+        nargs="+",
+        metavar="directory",
+        help="checkpoint director(ies) to check",
+    )
     parser.add_argument(
         "--repair",
         action="store_true",
         help="quarantine damaged/stranded files so the store is consistent",
+    )
+    parser.add_argument(
+        "--scrub",
+        action="store_true",
+        help=(
+            "byte-compare every record against the checksum-valid quorum "
+            "copy across the given replicas; quarantine divergent records "
+            "and rewrite them from healthy peers"
+        ),
     )
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
@@ -70,21 +138,66 @@ def main(argv=None, out=sys.stdout) -> int:
     )
     args = parser.parse_args(argv)
 
-    manager = RecoveryManager(args.directory, quarantine_dir=args.quarantine)
-    try:
-        report = manager.repair() if args.repair else manager.scan()
-    except StorageError as exc:
-        print(f"fsck: {exc}", file=sys.stderr)
+    if args.quarantine is not None and len(args.directories) > 1:
+        print(
+            "fsck: --quarantine applies to a single directory; replicas "
+            "quarantine into their own quarantine/ subdirectories",
+            file=sys.stderr,
+        )
         return 2
 
-    if args.json:
-        print(report.to_json(), file=out)
-    else:
-        _human(report, out)
+    # Scrub first: the per-directory reports below then describe the
+    # *healed* state, and a record the scrub quarantined+rewrote no
+    # longer counts against a replica's consistency.
+    scrub = None
+    if args.scrub:
+        try:
+            scrub = _run_scrub(args.directories)
+        except StorageError as exc:
+            print(f"fsck: scrub: {exc}", file=sys.stderr)
+            return 2
 
-    if report.consistent:
-        return 0
-    return 1
+    reports = {}
+    for directory in args.directories:
+        manager = RecoveryManager(directory, quarantine_dir=args.quarantine)
+        try:
+            reports[directory] = (
+                manager.repair() if args.repair else manager.scan()
+            )
+        except StorageError as exc:
+            print(f"fsck: {directory}: {exc}", file=sys.stderr)
+            return 2
+
+    consistent = all(report.consistent for report in reports.values())
+    if scrub is not None:
+        consistent = consistent and scrub.healed
+
+    if len(args.directories) == 1 and scrub is None:
+        # the legacy single-directory contract: the report *is* the output
+        report = reports[args.directories[0]]
+        if args.json:
+            print(report.to_json(), file=out)
+        else:
+            _human(report, out)
+        return 0 if report.consistent else 1
+
+    if args.json:
+        payload = {
+            "replicas": {
+                directory: report.to_dict()
+                for directory, report in reports.items()
+            },
+            "scrub": scrub.to_dict() if scrub is not None else None,
+            "consistent": consistent,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        for directory, report in reports.items():
+            print(f"== {directory} ==", file=out)
+            _human(report, out)
+        if scrub is not None:
+            _human_scrub(scrub, out)
+    return 0 if consistent else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

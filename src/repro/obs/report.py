@@ -133,6 +133,115 @@ class PhaseAggregate:
 
 
 @dataclass
+class ReplicationAggregate:
+    """Everything the trace said about the replicated store.
+
+    Folds ``replica.append`` / ``replica.state`` / ``replica.probe`` /
+    ``scrub.repair`` / ``scrub.done`` events into per-replica ack
+    counts, breaker transition counts (``old->new``), probe counts, and
+    scrub totals — the counters ISSUE's replication monitoring needs in
+    one place.
+    """
+
+    #: successful acks per replica (from ``replica.append`` acked lists)
+    acks: Dict[str, int] = field(default_factory=dict)
+    #: commits that left at least one replica degraded
+    degraded_commits: int = 0
+    #: commits where fewer replicas acked than the write quorum
+    quorum_losses: int = 0
+    #: breaker transitions, keyed ``"replica old->new"``
+    transitions: Dict[str, int] = field(default_factory=dict)
+    #: probe attempts per fenced replica
+    probes: Dict[str, int] = field(default_factory=dict)
+    #: scrub repairs per replica
+    scrub_repairs: Dict[str, int] = field(default_factory=dict)
+    scrub_runs: int = 0
+    scrub_quarantined: int = 0
+    scrub_unrepairable: int = 0
+
+    def add(self, record: dict) -> None:
+        etype = record.get("type")
+        if etype == "replica.append":
+            acked = record.get("acked") or []
+            for name in acked:
+                self.acks[name] = self.acks.get(name, 0) + 1
+            if record.get("degraded"):
+                self.degraded_commits += 1
+            quorum = record.get("quorum")
+            if quorum is not None and len(acked) < int(quorum):
+                self.quorum_losses += 1
+        elif etype == "replica.state":
+            key = (
+                f"{record.get('replica', '?')} "
+                f"{record.get('old', '?')}->{record.get('new', '?')}"
+            )
+            self.transitions[key] = self.transitions.get(key, 0) + 1
+        elif etype == "replica.probe":
+            name = record.get("replica", "?")
+            self.probes[name] = self.probes.get(name, 0) + 1
+        elif etype == "scrub.repair":
+            name = record.get("replica", "?")
+            self.scrub_repairs[name] = self.scrub_repairs.get(name, 0) + 1
+        elif etype == "scrub.done":
+            self.scrub_runs += 1
+            self.scrub_quarantined += int(record.get("quarantined", 0))
+            self.scrub_unrepairable += int(record.get("unrepairable", 0))
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.acks
+            or self.transitions
+            or self.probes
+            or self.scrub_repairs
+            or self.scrub_runs
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "acks": dict(sorted(self.acks.items())),
+            "degraded_commits": self.degraded_commits,
+            "quorum_losses": self.quorum_losses,
+            "transitions": dict(sorted(self.transitions.items())),
+            "probes": dict(sorted(self.probes.items())),
+            "scrub_repairs": dict(sorted(self.scrub_repairs.items())),
+            "scrub_runs": self.scrub_runs,
+            "scrub_quarantined": self.scrub_quarantined,
+            "scrub_unrepairable": self.scrub_unrepairable,
+        }
+
+    def render(self) -> str:
+        acks = " ".join(
+            f"{name}:{count}" for name, count in sorted(self.acks.items())
+        )
+        lines = [
+            f"  replication: acks {acks or '-'}; "
+            f"{self.degraded_commits} degraded commit(s); "
+            f"{self.quorum_losses} quorum loss(es)"
+        ]
+        for key, count in sorted(self.transitions.items()):
+            lines.append(f"    breaker {key}: x{count}")
+        if self.probes:
+            probes = " ".join(
+                f"{name}:{count}"
+                for name, count in sorted(self.probes.items())
+            )
+            lines.append(f"    probes: {probes}")
+        if self.scrub_runs or self.scrub_repairs:
+            repairs = " ".join(
+                f"{name}:{count}"
+                for name, count in sorted(self.scrub_repairs.items())
+            )
+            lines.append(
+                f"    scrub: {self.scrub_runs} run(s), "
+                f"repairs {repairs or '-'}, "
+                f"{self.scrub_quarantined} quarantined, "
+                f"{self.scrub_unrepairable} unrepairable"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
 class TraceReport:
     """The aggregate of one trace file."""
 
@@ -142,6 +251,9 @@ class TraceReport:
     phases: Dict[str, PhaseAggregate] = field(default_factory=dict)
     writer_drains: int = 0
     fsck_repairs: int = 0
+    replication: ReplicationAggregate = field(
+        default_factory=ReplicationAggregate
+    )
     exporter_note: str = ""
 
     def to_dict(self) -> dict:
@@ -154,6 +266,7 @@ class TraceReport:
             },
             "writer_drains": self.writer_drains,
             "fsck_repairs": self.fsck_repairs,
+            "replication": self.replication.to_dict(),
         }
 
     def render(self) -> str:
@@ -197,6 +310,8 @@ class TraceReport:
             f"{self.writer_drains} writer drain(s); "
             f"{self.fsck_repairs} fsck repair(s)"
         )
+        if not self.replication.empty:
+            lines.append(self.replication.render())
         counts = ", ".join(
             f"{etype}={count}"
             for etype, count in sorted(self.event_counts.items())
@@ -222,6 +337,14 @@ def aggregate(records: List[dict], path: str = "<trace>") -> TraceReport:
             report.writer_drains += 1
         elif etype == "fsck.repair":
             report.fsck_repairs += 1
+        elif etype in (
+            "replica.append",
+            "replica.state",
+            "replica.probe",
+            "scrub.repair",
+            "scrub.done",
+        ):
+            report.replication.add(record)
     return report
 
 

@@ -124,6 +124,12 @@ class CommitReceipt:
     failed_wall_seconds: Optional[float] = None
     #: wall time of the checked-driver re-record after the fallback
     fallback_wall_seconds: Optional[float] = None
+    #: replicas that acked this epoch (replicated sinks only, else None)
+    replicas_acked: Optional[List[str]] = None
+    #: write quorum the commit had to meet (replicated sinks only)
+    replica_quorum: Optional[int] = None
+    #: replicas that missed the epoch — fenced or failing (replicated sinks)
+    degraded_replicas: Optional[List[str]] = None
     #: human-readable record of every degradation/escalation/retry event
     events: List[str] = field(default_factory=list)
 
@@ -730,6 +736,7 @@ class CheckpointSession:
                 if put_retries:
                     receipt.events.extend(stats.events[-put_retries:])
             receipt.durability = self.sink.durability()
+            self._fill_replica_receipt(receipt)
         with self._state_lock:
             self.commits += 1
             self.bytes_written += result.size
@@ -748,6 +755,22 @@ class CheckpointSession:
         with self._state_lock:
             self.history.append(result)
         self._record_commit(result)
+
+    def _fill_replica_receipt(self, receipt: CommitReceipt) -> None:
+        """Copy the replicated store's commit receipt onto ours (if any).
+
+        Unwraps a :class:`~repro.core.storage.BackgroundWriter` front;
+        behind one, the numbers describe the newest *drained* epoch, not
+        necessarily this still-queued one.
+        """
+        store = getattr(self.sink, "store", None)
+        store = getattr(store, "backing", store)
+        last = getattr(store, "last_commit", None)
+        if not isinstance(last, dict):
+            return
+        receipt.replicas_acked = list(last.get("acked") or [])
+        receipt.replica_quorum = last.get("quorum")
+        receipt.degraded_replicas = list(last.get("degraded") or [])
 
     def _record_commit(self, result: CommitResult) -> None:
         """Emit the commit's trace record and metrics (observers only)."""
@@ -773,6 +796,15 @@ class CheckpointSession:
                 fallback_wall_seconds=(
                     receipt.fallback_wall_seconds if receipt else None
                 ),
+                replicas_acked=(
+                    receipt.replicas_acked if receipt else None
+                ),
+                replica_quorum=(
+                    receipt.replica_quorum if receipt else None
+                ),
+                degraded_replicas=(
+                    receipt.degraded_replicas if receipt else None
+                ),
             )
         metrics = self.metrics
         if metrics.enabled:
@@ -795,6 +827,8 @@ class CheckpointSession:
                     metrics.counter("degradations_total").inc()
                 if receipt.escalated:
                     metrics.counter("escalations_total").inc()
+                if receipt.degraded_replicas:
+                    metrics.counter("degraded_replica_commits_total").inc()
             metrics.gauge("deltas_since_full").set(self.deltas_since_full)
 
     def _resolve_roots(

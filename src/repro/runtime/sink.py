@@ -212,8 +212,16 @@ class StoreSink(Sink):
         )
 
     def durability(self) -> str:
-        if isinstance(self.store, BackgroundWriter):
-            return "queued" if not self.store.degraded else "durable"
+        store = self.store
+        if isinstance(store, BackgroundWriter):
+            if not store.degraded:
+                return "queued"
+            store = store.backing
+        # A replicated store distinguishes "every replica acked"
+        # ("durable") from "only a write quorum did" ("quorum").
+        reported = getattr(store, "durability", None)
+        if callable(reported):
+            return reported()
         return "durable"
 
     def flush(self) -> None:

@@ -392,6 +392,7 @@ def weave_runtime(sanitizer: Optional[Sanitizer] = None) -> List[type]:
     primitives.  Returns the woven classes so callers can unweave.
     """
     from repro.core.ids import IdAllocator
+    from repro.core.replica import ReplicatedStore, Scrubber
     from repro.core.storage import BackgroundWriter, FileStore, MemoryStore
     from repro.obs.tracer import Tracer
     from repro.runtime.session import CheckpointSession
@@ -400,6 +401,8 @@ def weave_runtime(sanitizer: Optional[Sanitizer] = None) -> List[type]:
         MemoryStore,
         FileStore,
         BackgroundWriter,
+        ReplicatedStore,
+        Scrubber,
         CheckpointSession,
         IdAllocator,
         Tracer,

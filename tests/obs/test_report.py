@@ -95,6 +95,60 @@ class TestAggregate:
         assert "hot" in text and "tail" in text
 
 
+class TestReplicationAggregate:
+    def _records(self):
+        return [
+            {
+                "type": "replica.append",
+                "acked": ["r0", "r1"],
+                "degraded": ["r2"],
+                "quorum": 2,
+            },
+            {
+                "type": "replica.append",
+                "acked": ["r0"],
+                "degraded": ["r1", "r2"],
+                "quorum": 2,
+            },
+            {"type": "replica.state", "replica": "r2", "old": "healthy", "new": "suspect"},
+            {"type": "replica.state", "replica": "r2", "old": "suspect", "new": "fenced"},
+            {"type": "replica.probe", "replica": "r2"},
+            {"type": "scrub.repair", "replica": "r2", "index": 3},
+            {"type": "scrub.repair", "replica": "r2", "index": 4},
+            {"type": "scrub.done", "quarantined": 2, "unrepairable": 0},
+        ]
+
+    def test_folds_replication_events(self):
+        report = aggregate(self._records())
+        repl = report.replication
+        assert not repl.empty
+        assert repl.acks == {"r0": 2, "r1": 1}
+        assert repl.degraded_commits == 2
+        assert repl.quorum_losses == 1  # the single-ack commit
+        assert repl.transitions == {
+            "r2 healthy->suspect": 1,
+            "r2 suspect->fenced": 1,
+        }
+        assert repl.probes == {"r2": 1}
+        assert repl.scrub_repairs == {"r2": 2}
+        assert repl.scrub_runs == 1
+        assert repl.scrub_quarantined == 2
+
+    def test_to_dict_and_render(self):
+        report = aggregate(self._records())
+        data = report.to_dict()["replication"]
+        assert data["acks"] == {"r0": 2, "r1": 1}
+        text = report.render()
+        assert "replication:" in text
+        assert "breaker r2 suspect->fenced" in text
+        assert "scrub: 1 run(s)" in text
+
+    def test_empty_replication_is_omitted_from_render(self):
+        report = aggregate([_commit("hot", 0.1, 1)])
+        assert report.replication.empty
+        assert "replication:" not in report.render()
+
+
 class TestReportFiles:
     def test_report_file_and_save_json_round_trip(self, tmp_path):
         trace = tmp_path / "trace.jsonl"

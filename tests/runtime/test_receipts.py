@@ -208,3 +208,56 @@ class TestStrategyFallback:
         session.commit()  # degraded delta only
         table = session.recover()
         assert table[root._ckpt_info.object_id].mid.leaf.value == 99
+
+
+class _DeadReplica(MemoryStore):
+    def append(self, kind, data, **lineage):
+        raise OSError("volume pulled")
+
+
+class TestReplicaReceipts:
+    def make_replicated(self, children=None, **kwargs):
+        from repro.core.replica import ReplicatedStore
+
+        children = children or [MemoryStore(), MemoryStore(), MemoryStore()]
+        return ReplicatedStore(children, **kwargs)
+
+    def test_receipt_reports_full_ack(self):
+        store = self.make_replicated()
+        session = CheckpointSession(roots=build_root(), sink=store)
+        receipt = session.base().receipt
+        assert receipt.replicas_acked == ["r0", "r1", "r2"]
+        assert receipt.replica_quorum == 2
+        assert receipt.degraded_replicas == []
+        assert receipt.durability == "durable"
+
+    def test_receipt_reports_degraded_replica(self):
+        store = self.make_replicated(
+            [MemoryStore(), MemoryStore(), _DeadReplica()]
+        )
+        session = CheckpointSession(roots=build_root(), sink=store)
+        receipt = session.base().receipt
+        assert receipt.replicas_acked == ["r0", "r1"]
+        assert receipt.degraded_replicas == ["r2"]
+        assert receipt.durability == "quorum"
+
+    def test_single_store_receipt_has_no_replica_fields(self):
+        session = CheckpointSession(roots=build_root(), sink=MemoryStore())
+        receipt = session.base().receipt
+        assert receipt.replicas_acked is None
+        assert receipt.replica_quorum is None
+        assert receipt.degraded_replicas is None
+
+    def test_receipt_through_background_writer(self):
+        store = self.make_replicated()
+        writer = BackgroundWriter(store)
+        session = CheckpointSession(roots=build_root(), sink=writer)
+        try:
+            session.base()
+            session.flush()
+            result = session.commit()
+            session.flush()
+        finally:
+            session.close()
+        # behind a queue the receipt reflects the newest drained epoch
+        assert store.last_commit["acked"] == ["r0", "r1", "r2"]

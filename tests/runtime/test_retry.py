@@ -1,5 +1,8 @@
 """RetryPolicy semantics and its wiring into StoreSink."""
 
+import errno
+import os
+
 import pytest
 
 from repro.core.errors import CheckpointError, StorageError
@@ -24,6 +27,55 @@ class TestClassifier:
     def test_other_errors_are_permanent(self):
         assert not transient_oserror(ValueError("bug"))
         assert not transient_oserror(StorageError("corrupt frame"))
+
+    def test_volume_state_errnos_are_permanent(self):
+        # a full or read-only disk does not heal in a backoff window
+        for code in (errno.ENOSPC, errno.EROFS, getattr(errno, "EDQUOT", None)):
+            if code is None:
+                continue
+            exc = OSError(code, os.strerror(code))
+            assert not transient_oserror(exc), os.strerror(code)
+
+    def test_blip_errnos_are_transient(self):
+        for code in (errno.EAGAIN, errno.EINTR, errno.EIO):
+            exc = OSError(code, os.strerror(code))
+            assert transient_oserror(exc), os.strerror(code)
+
+    def test_wrapped_enospc_is_permanent(self):
+        # errno classification must see through store-level wrapping
+        try:
+            try:
+                raise OSError(errno.ENOSPC, "no space left on device")
+            except OSError as inner:
+                raise StorageError("append failed") from inner
+        except StorageError as exc:
+            assert not transient_oserror(exc)
+
+    def test_enospc_not_retried_by_run(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        with pytest.raises(OSError):
+            RetryPolicy(max_attempts=5, base_delay=0.0).run(
+                fn, sleep=lambda _: None
+            )
+        assert len(calls) == 1
+
+    def test_eagain_is_retried_by_run(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EAGAIN, "try again")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        assert policy.run(fn, sleep=lambda _: None) == "ok"
+        assert len(calls) == 3
 
 
 class TestPolicyValidation:
@@ -115,6 +167,35 @@ class TestRun:
             policy.run(fn, sleep=sleep, clock=clock)
         # The 1s sleep fits the 2.5s budget; the next 2s sleep would not.
         assert len(calls) == 2
+
+    def test_deadline_expires_mid_backoff_with_slow_attempts(self):
+        # Time spent *inside* failing attempts counts against the
+        # deadline too: the first backoff already blows the budget even
+        # though it would have fit at t=0.
+        fn_calls = []
+        fake_now = [0.0]
+
+        def fn():
+            fn_calls.append(1)
+            fake_now[0] += 2.0  # each attempt itself burns wall clock
+            raise OSError("slow failure")
+
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=1.0,
+            max_delay=8.0,
+            jitter=0.0,
+            deadline=2.5,
+        )
+        with pytest.raises(OSError):
+            policy.run(
+                fn,
+                sleep=lambda d: fake_now.__setitem__(0, fake_now[0] + d),
+                clock=lambda: fake_now[0],
+            )
+        # attempt 1 ends at t=2.0; the 1s backoff would end past the
+        # 2.5s deadline, so there is no second attempt
+        assert len(fn_calls) == 1
 
     def test_on_retry_hook_sees_each_attempt(self):
         fn, _ = self.make_flaky(2)

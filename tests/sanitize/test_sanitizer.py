@@ -172,6 +172,8 @@ class TestWeaving:
             "IdAllocator",
             "MemoryStore",
             "FileStore",
+            "ReplicatedStore",
+            "Scrubber",
             "Tracer",
         } <= names
 
