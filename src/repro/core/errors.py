@@ -22,6 +22,16 @@ class CycleError(CheckpointError):
     """
 
 
+class SerializationError(CheckpointError):
+    """A value cannot be represented in the checkpoint wire format.
+
+    Raised on the *write* side — e.g. a string whose UTF-8 encoding
+    exceeds the int32 length prefix — before any malformed bytes reach a
+    stream. Distinct from :class:`RestoreError`, which is the read-side
+    (decode) failure family.
+    """
+
+
 class RestoreError(CheckpointError):
     """A checkpoint stream could not be decoded back into objects."""
 

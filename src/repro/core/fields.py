@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, Optional
 
 from repro.core.errors import SchemaError
+from repro.core.info import note_topology_change
 
 SCALAR_KINDS = ("int", "float", "bool", "str")
 
@@ -54,11 +55,19 @@ class TrackedList:
     delegated to the underlying list.
     """
 
-    __slots__ = ("_items", "_owner")
+    __slots__ = ("_items", "_owner", "_topo")
 
-    def __init__(self, owner: Any, items: Optional[Iterable[Any]] = None) -> None:
+    def __init__(
+        self,
+        owner: Any,
+        items: Optional[Iterable[Any]] = None,
+        topo: bool = False,
+    ) -> None:
         self._owner = owner
         self._items = list(items) if items is not None else []
+        #: True for child lists: their mutations change graph topology,
+        #: which invalidates block-tier partitions (see repro.core.blocks)
+        self._topo = topo
 
     # -- mutation (sets the owner's flag) ---------------------------------
 
@@ -66,6 +75,8 @@ class TrackedList:
         owner = self._owner
         if owner is not None:
             owner._ckpt_info.modified = True
+        if self._topo:
+            note_topology_change()
 
     def append(self, item: Any) -> None:
         self._items.append(item)
@@ -226,6 +237,13 @@ class _Child(_FieldDescriptor):
         #: optional declared class, used only for documentation/validation
         self.declared_class = cls
 
+    def __set__(self, instance: Any, value: Any) -> None:
+        old = getattr(instance, self.slot, None)
+        setattr(instance, self.slot, value)
+        instance._ckpt_info.modified = True
+        if value is not old and (old is not None or value is not None):
+            note_topology_change()
+
 
 class _ChildList(_FieldDescriptor):
     role = "child_list"
@@ -236,9 +254,12 @@ class _ChildList(_FieldDescriptor):
 
     def __set__(self, instance: Any, value: Any) -> None:
         if not isinstance(value, TrackedList) or value._owner is not instance:
-            value = TrackedList(instance, value)
+            value = TrackedList(instance, value, topo=True)
+        else:
+            value._topo = True
         setattr(instance, self.slot, value)
         instance._ckpt_info.modified = True
+        note_topology_change()
 
 
 def scalar(kind: str) -> _Scalar:

@@ -4,11 +4,54 @@ Every checkpointable object owns exactly one :class:`CheckpointInfo`,
 holding its process-wide unique identifier and its modification flag. The
 flag is set by every field assignment (see :mod:`repro.core.fields`) and
 reset when the object's local state is recorded into a checkpoint.
+
+On top of the paper's design, the flag doubles as the *block tier's*
+change feed (see :mod:`repro.core.blocks`): when an object has been
+assigned to a dirtiness block, every ``modified = True`` store also bumps
+that block's generation counter and dirty bit. Because every existing
+flag-write site — field descriptors, :class:`~repro.core.fields.TrackedList`
+mutations, ``set_all_flags``, ``restore_flags`` — already goes through this
+attribute, the block tier inherits the paper's "no programmer effort"
+property for free.
 """
 
 from __future__ import annotations
 
 from repro.core.ids import DEFAULT_ALLOCATOR, IdAllocator
+
+#: Generation counters wrap at the int32 boundary so they stay
+#: representable in the wire/metadata formats; the per-block dirty *bit*
+#: (which cannot wrap) is what makes the skip decision wrap-proof.
+GENERATION_MASK = 0xFFFFFFFF
+
+
+class _TopologyClock:
+    """Process-wide counter of structural (parent/child edge) mutations.
+
+    Block membership is a function of graph topology: an edge insertion or
+    removal can move an object's first-preorder position to a different
+    block. Rather than burden every edge write with per-tier bookkeeping,
+    edge writes tick this clock and every
+    :class:`~repro.core.blocks.BlockTier` re-partitions when the clock has
+    moved since its last partition. Scalar writes never tick it, so the
+    hot path (value mutation between commits) keeps its block skipping.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def tick(self) -> None:
+        self.value += 1
+
+
+TOPOLOGY_CLOCK = _TopologyClock()
+
+
+def note_topology_change() -> None:
+    """Record that a parent/child edge somewhere was created or removed."""
+    TOPOLOGY_CLOCK.value += 1
 
 
 class CheckpointInfo:
@@ -19,7 +62,7 @@ class CheckpointInfo:
     it in full.
     """
 
-    __slots__ = ("object_id", "modified")
+    __slots__ = ("object_id", "_modified", "block")
 
     def __init__(
         self,
@@ -30,7 +73,23 @@ class CheckpointInfo:
         if object_id is None:
             object_id = (allocator or DEFAULT_ALLOCATOR).allocate()
         self.object_id = object_id
-        self.modified = modified
+        self._modified = modified
+        #: the dirtiness block this object belongs to (None until a
+        #: BlockTier partitions the graph containing it)
+        self.block = None
+
+    @property
+    def modified(self) -> bool:
+        return self._modified
+
+    @modified.setter
+    def modified(self, value: bool) -> None:
+        self._modified = value
+        if value:
+            block = self.block
+            if block is not None:
+                block.generation = (block.generation + 1) & GENERATION_MASK
+                block.dirty = True
 
     def set_modified(self) -> None:
         """Mark the owning object as modified since the last checkpoint."""
@@ -38,8 +97,8 @@ class CheckpointInfo:
 
     def reset_modified(self) -> None:
         """Clear the flag, typically right after recording the object."""
-        self.modified = False
+        self._modified = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "modified" if self.modified else "clean"
+        state = "modified" if self._modified else "clean"
         return f"CheckpointInfo(id={self.object_id}, {state})"

@@ -98,17 +98,23 @@ def apply_stream(
     table: ObjectTable,
     registry: Optional[ClassRegistry] = None,
     serial_translation: Optional[Dict[int, int]] = None,
+    base_offset: int = 0,
 ) -> List[int]:
     """Apply one checkpoint stream to ``table`` (creating objects as needed).
 
     Returns the identifiers of the entries applied, in stream order.
     Raises :class:`RestoreError` on truncation, unknown serials, or a
     class mismatch between an entry and an existing object.
+
+    ``base_offset`` is this stream's position within the containing
+    recovery line: decode errors report ``base_offset``-adjusted offsets,
+    so that after a multi-epoch replay an fsck quarantine line points at
+    the right record rather than an intra-record offset.
     """
     registry = registry or DEFAULT_REGISTRY
 
     # Pass 1: discover entries, materialize blanks for unseen identifiers.
-    inp = DataInputStream(data)
+    inp = DataInputStream(data, base_offset)
     entries: List[Tuple[int, type]] = []
     while not inp.at_eof:
         object_id = inp.read_int32()
@@ -131,7 +137,7 @@ def apply_stream(
         _skip_payload(inp, registry.schema_of(cls))
 
     # Pass 2: apply payloads now that every referenced object can exist.
-    inp = DataInputStream(data)
+    inp = DataInputStream(data, base_offset)
     for object_id, cls in entries:
         inp.read_int32()
         inp.read_int32()
@@ -158,9 +164,10 @@ def apply_incremental(
     data: bytes,
     registry: Optional[ClassRegistry] = None,
     serial_translation: Optional[Dict[int, int]] = None,
+    base_offset: int = 0,
 ) -> List[int]:
     """Fold one incremental delta into an existing table."""
-    applied = apply_stream(data, table, registry, serial_translation)
+    applied = apply_stream(data, table, registry, serial_translation, base_offset)
     DEFAULT_ALLOCATOR.advance_past(table.max_id())
     return applied
 
@@ -171,10 +178,19 @@ def replay(
     registry: Optional[ClassRegistry] = None,
     serial_translation: Optional[Dict[int, int]] = None,
 ) -> ObjectTable:
-    """Restore a full recovery line: base checkpoint plus deltas, in order."""
+    """Restore a full recovery line: base checkpoint plus deltas, in order.
+
+    Epoch data is treated as one concatenated byte sequence for error
+    reporting: a decode failure in the k-th delta names its offset within
+    the whole line, so the failing record can be located directly.
+    """
     table = restore_full(base, registry, serial_translation)
+    offset = len(base)
     for delta in deltas:
-        apply_incremental(table, delta, registry, serial_translation)
+        apply_incremental(
+            table, delta, registry, serial_translation, base_offset=offset
+        )
+        offset += len(delta)
     return table
 
 

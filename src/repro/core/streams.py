@@ -21,14 +21,47 @@ from __future__ import annotations
 
 import struct
 
-from repro.core.errors import RestoreError
+from repro.core.errors import RestoreError, SerializationError
 
 _INT32 = struct.Struct("<i")
 _INT64 = struct.Struct("<q")
 _FLOAT64 = struct.Struct("<d")
+_HEADER = struct.Struct("<ii")
+_pack_into = struct.pack_into
 
 INT32_MIN = -(2**31)
 INT32_MAX = 2**31 - 1
+
+
+def utf8_length(value: str) -> int:
+    """Byte length of ``value``'s UTF-8 encoding, without encoding it.
+
+    ASCII strings (the overwhelmingly common case on the measure path)
+    are answered from ``len`` alone; otherwise the length is summed
+    arithmetically per code point, still without materializing a
+    throwaway ``bytes`` copy.
+    """
+    if value.isascii():
+        return len(value)
+    total = 0
+    for ch in map(ord, value):
+        if ch <= 0x7F:
+            total += 1
+        elif ch <= 0x7FF:
+            total += 2
+        elif ch <= 0xFFFF:
+            total += 3
+        else:
+            total += 4
+    return total
+
+
+def _check_str_length(byte_length: int) -> None:
+    if byte_length > INT32_MAX:
+        raise SerializationError(
+            f"string of {byte_length} UTF-8 bytes exceeds the int32 length "
+            f"prefix (max {INT32_MAX})"
+        )
 
 
 class DataOutputStream:
@@ -58,8 +91,14 @@ class DataOutputStream:
         self._buffer.append(1 if value else 0)
 
     def write_str(self, value: str) -> None:
-        """Append a length-prefixed UTF-8 string."""
+        """Append a length-prefixed UTF-8 string.
+
+        Raises :class:`~repro.core.errors.SerializationError` when the
+        encoding exceeds the int32 length prefix, rather than leaking a
+        bare ``struct.error`` from the prefix pack.
+        """
         encoded = value.encode("utf-8")
+        _check_str_length(len(encoded))
         self._buffer += _INT32.pack(len(encoded))
         self._buffer += encoded
 
@@ -113,7 +152,9 @@ class NullOutputStream(DataOutputStream):
         self._size += 1
 
     def write_str(self, value: str) -> None:
-        self._size += 4 + len(value.encode("utf-8"))
+        length = utf8_length(value)
+        _check_str_length(length)
+        self._size += 4 + length
 
     def write_bytes(self, value: bytes) -> None:
         self._size += len(value)
@@ -123,7 +164,9 @@ class NullOutputStream(DataOutputStream):
         return self._size
 
     def getvalue(self) -> bytes:
-        raise RestoreError("NullOutputStream retains no bytes")
+        # Write-side misuse, not a decode failure: deliberately NOT a
+        # RestoreError.
+        raise SerializationError("NullOutputStream retains no bytes")
 
     def clear(self) -> None:
         self._size = 0
@@ -133,13 +176,21 @@ class NullOutputStream(DataOutputStream):
 
 
 class DataInputStream:
-    """Sequential typed reader over a bytes object."""
+    """Sequential typed reader over a bytes object.
 
-    __slots__ = ("_data", "_pos")
+    ``base_offset`` positions this stream inside a larger byte sequence
+    (e.g. one delta of a multi-epoch recovery line): error messages
+    report ``base_offset + local offset`` so that fsck quarantine lines
+    point at the right record instead of an ambiguous intra-record
+    offset.
+    """
 
-    def __init__(self, data: bytes) -> None:
+    __slots__ = ("_data", "_pos", "_base")
+
+    def __init__(self, data: bytes, base_offset: int = 0) -> None:
         self._data = data
         self._pos = 0
+        self._base = base_offset
 
     # -- readers ---------------------------------------------------------
 
@@ -148,8 +199,8 @@ class DataInputStream:
         end = start + count
         if end > len(self._data):
             raise RestoreError(
-                f"truncated stream: wanted {count} bytes at offset {start}, "
-                f"have {len(self._data) - start}"
+                f"truncated stream: wanted {count} bytes at offset "
+                f"{self._base + start}, have {len(self._data) - start}"
             )
         self._pos = end
         return start
@@ -171,14 +222,19 @@ class DataInputStream:
         start = self._take(1)
         byte = self._data[start]
         if byte not in (0, 1):
-            raise RestoreError(f"invalid boolean byte {byte!r} at offset {start}")
+            raise RestoreError(
+                f"invalid boolean byte {byte!r} at offset {self._base + start}"
+            )
         return byte == 1
 
     def read_str(self) -> str:
         """Read a length-prefixed UTF-8 string."""
         length = self.read_int32()
         if length < 0:
-            raise RestoreError(f"negative string length {length}")
+            raise RestoreError(
+                f"negative string length {length} at offset "
+                f"{self._base + self._pos - 4}"
+            )
         start = self._take(length)
         return self._data[start : start + length].decode("utf-8")
 
@@ -191,8 +247,18 @@ class DataInputStream:
 
     @property
     def position(self) -> int:
-        """Current read offset."""
+        """Current read offset, local to this stream's own data."""
         return self._pos
+
+    @property
+    def base_offset(self) -> int:
+        """Offset of this stream's first byte within its container."""
+        return self._base
+
+    @property
+    def absolute_position(self) -> int:
+        """Current read offset within the containing byte sequence."""
+        return self._base + self._pos
 
     @property
     def remaining(self) -> int:
@@ -203,3 +269,78 @@ class DataInputStream:
     def at_eof(self) -> bool:
         """True when every byte has been consumed."""
         return self._pos >= len(self._data)
+
+
+class PackedEncoder:
+    """Preallocated binary buffer written with batched ``struct.pack_into``.
+
+    The packed codec's output target: generated ``record_packed`` methods
+    coalesce runs of fixed-size fields into single ``pack_into`` calls
+    against :attr:`buf` at :attr:`pos`, instead of one
+    :class:`DataOutputStream` method call per field. Producing the exact
+    bytes of the ``write_*`` path is a hard invariant (the runtime
+    byte-equivalence suite pins it).
+
+    The growth discipline: a ``record_packed`` routine calls
+    :meth:`ensure` with the byte count of the next fixed-size run, packs
+    directly into the returned buffer, then advances :attr:`pos` itself.
+    Variable-size pieces go through :meth:`put_str` / :meth:`put_int32`.
+    """
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        self.buf = bytearray(max(capacity, 64))
+        self.pos = 0
+
+    def ensure(self, extra: int) -> bytearray:
+        """Grow the buffer so ``extra`` bytes fit at :attr:`pos`."""
+        buf = self.buf
+        need = self.pos + extra
+        if need > len(buf):
+            buf.extend(b"\x00" * max(need - len(buf), len(buf)))
+        return buf
+
+    def put_int32(self, value: int) -> None:
+        buf = self.ensure(4)
+        _INT32.pack_into(buf, self.pos, value)
+        self.pos += 4
+
+    def put_header(self, object_id: int, serial: int) -> None:
+        """The ``int32 id | int32 serial`` prefix of one object entry."""
+        buf = self.ensure(8)
+        _HEADER.pack_into(buf, self.pos, object_id, serial)
+        self.pos += 8
+
+    def put_str(self, value: str) -> None:
+        encoded = value.encode("utf-8")
+        length = len(encoded)
+        _check_str_length(length)
+        buf = self.ensure(4 + length)
+        pos = self.pos
+        _INT32.pack_into(buf, pos, length)
+        buf[pos + 4 : pos + 4 + length] = encoded
+        self.pos = pos + 4 + length
+
+    def put_bytes(self, data: bytes) -> None:
+        length = len(data)
+        buf = self.ensure(length)
+        pos = self.pos
+        buf[pos : pos + length] = data
+        self.pos = pos + length
+
+    @property
+    def size(self) -> int:
+        """Number of bytes written so far."""
+        return self.pos
+
+    def getvalue(self) -> bytes:
+        """An immutable snapshot of the bytes written so far."""
+        return bytes(memoryview(self.buf)[: self.pos])
+
+    def clear(self) -> None:
+        """Reset for reuse; the allocation is retained."""
+        self.pos = 0
+
+    def __len__(self) -> int:
+        return self.pos

@@ -479,11 +479,18 @@ class CheckpointSession:
         if self._oracle is not None:
             self._oracle.observe(use, phase=phase or "")
         saved = snapshot_flags(use)
+        # Strategies with commit-to-commit state beyond the flags (the
+        # differential tier's block generations and fingerprints) expose
+        # snapshot_state/restore_state so a trial run leaves no trace.
+        snapshot_state = getattr(strategy, "snapshot_state", None)
+        saved_state = snapshot_state() if snapshot_state is not None else None
         start = time.perf_counter()
         try:
             strategy.write(use, out)
         finally:
             restore_flags(saved)
+            if saved_state is not None:
+                strategy.restore_state(saved_state)
         wall = time.perf_counter() - start
         result = CommitResult(
             kind=INCREMENTAL,
@@ -681,6 +688,9 @@ class CheckpointSession:
                 "routine may have cleared modification flags mid-run)"
             )
         wall = time.perf_counter() - start
+        block_stats = getattr(strategy, "last_stats", None)
+        if block_stats and tracer.enabled:
+            tracer.event("commit.blocks", phase=phase, **block_stats)
         self._settle_escalation(
             receipt,
             repaired=(kind == FULL and self._is_full_driver(strategy)),

@@ -23,6 +23,14 @@ Variants
 ``spec_struct_mod``
     Specialized for structure *and* the experiment's declared modification
     pattern (paper Figure 6 / Figures 9-10).
+``packed``
+    Incremental flag walk recording through the batched ``record_packed``
+    codec (one ``struct.pack_into`` per run of fixed-size fields).
+``differential``
+    The block dirtiness tier over the packed codec: clean blocks are
+    skipped without traversal. Wall clock and op counts are measured at
+    *steady state* — after the partition's baseline commit — which is the
+    regime the tier exists for.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.blocks import BlockTier
 from repro.core.checkpoint import reset_flags
 from repro.core.checkpointable import Checkpointable
 from repro.core.storage import FULL, INCREMENTAL
@@ -52,7 +61,15 @@ from repro.synthetic.workload import (
 from repro.vm.machine import MeteredMachine
 from repro.vm.ops import OpCounts
 
-VARIANTS = ("full", "incremental", "reflective", "spec_struct", "spec_struct_mod")
+VARIANTS = (
+    "full",
+    "incremental",
+    "reflective",
+    "spec_struct",
+    "spec_struct_mod",
+    "packed",
+    "differential",
+)
 
 
 @dataclass
@@ -188,6 +205,11 @@ def run_variant(
     # not the sink.
     workload.snapshot.restore()
     session = CheckpointSession(roots=structures, strategy=strategy)
+    if variant == "differential":
+        # Baseline commit: partition + full walk. The timed commit below
+        # then measures the steady-state regime (clean blocks skipped).
+        session.commit(kind=INCREMENTAL)
+        workload.snapshot.restore()
     committed = session.commit(kind=FULL if variant == "full" else INCREMENTAL)
     wall = committed.wall_seconds
     size = committed.size
@@ -206,6 +228,17 @@ def run_variant(
         elif variant == "incremental":
             for root in structures[:sample]:
                 machine.run_incremental(root)
+        elif variant == "packed":
+            for root in structures[:sample]:
+                machine.run_packed(root)
+        elif variant == "differential":
+            sample_roots = structures[:sample]
+            tier = BlockTier()
+            tier.partition(sample_roots)
+            for block in tier.blocks:
+                tier.mark_committed(block)  # as if the baseline commit ran
+            workload.snapshot.restore()  # flag writes re-bump their blocks
+            machine.run_differential(tier)
         else:
             residual = spec_fn.residual_ir
             for root in structures[:sample]:

@@ -4,13 +4,15 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.errors import RestoreError
+from repro.core.errors import RestoreError, SerializationError
 from repro.core.streams import (
     INT32_MAX,
     INT32_MIN,
     DataInputStream,
     DataOutputStream,
     NullOutputStream,
+    PackedEncoder,
+    utf8_length,
 )
 
 
@@ -63,14 +65,72 @@ class TestNullOutputStream:
         out.write_str("ab")
         out.write_bytes(b"xyz")
         assert out.size == 4 + 8 + 8 + 1 + (4 + 2) + 3
-        with pytest.raises(RestoreError):
+        # Write-side stream: misuse raises in the checkpoint (write)
+        # error family, never the restore (decode) family.
+        with pytest.raises(SerializationError):
             out.getvalue()
+
+    def test_getvalue_error_is_not_restore_family(self):
+        out = NullOutputStream()
+        with pytest.raises(SerializationError) as excinfo:
+            out.getvalue()
+        assert not isinstance(excinfo.value, RestoreError)
+
+    def test_write_str_counts_non_ascii_without_encoding(self):
+        null = NullOutputStream()
+        real = DataOutputStream()
+        for text in ("héllo", "日本語", "aé€\U0001f600z", ""):
+            null.clear()
+            real.clear()
+            null.write_str(text)
+            real.write_str(text)
+            assert null.size == real.size
 
     def test_clear(self):
         out = NullOutputStream()
         out.write_int32(1)
         out.clear()
         assert out.size == 0
+
+
+class TestUtf8Length:
+    @given(st.text(max_size=200))
+    def test_matches_encoded_length(self, text):
+        assert utf8_length(text) == len(text.encode("utf-8"))
+
+
+class TestWriteStrLengthGuard:
+    class _HugeStr(str):
+        # Simulates a string whose encoding exceeds the int32 prefix
+        # without allocating gigabytes.
+        def encode(self, *args, **kwargs):
+            return _FakeHugeBytes()
+
+        def isascii(self):
+            return True
+
+        def __len__(self):
+            return INT32_MAX + 1
+
+    def test_data_output_stream_raises_typed_error(self):
+        out = DataOutputStream()
+        with pytest.raises(SerializationError, match="int32 length"):
+            out.write_str(self._HugeStr())
+
+    def test_null_output_stream_mirrors_the_guard(self):
+        out = NullOutputStream()
+        with pytest.raises(SerializationError, match="int32 length"):
+            out.write_str(self._HugeStr())
+
+    def test_packed_encoder_mirrors_the_guard(self):
+        enc = PackedEncoder()
+        with pytest.raises(SerializationError, match="int32 length"):
+            enc.put_str(self._HugeStr())
+
+
+class _FakeHugeBytes(bytes):
+    def __len__(self):
+        return INT32_MAX + 1
 
 
 class TestDataInputStream:
@@ -90,6 +150,27 @@ class TestDataInputStream:
         inp = DataInputStream(b"\x07")
         with pytest.raises(RestoreError, match="invalid boolean"):
             inp.read_bool()
+
+    def test_base_offset_positions_bool_error_in_container(self):
+        # One byte into a record that starts at offset 100 of a larger
+        # recovery line: the message must name the containing-stream
+        # offset, not the intra-record one.
+        inp = DataInputStream(b"\x01\x07", base_offset=100)
+        inp.read_bool()
+        with pytest.raises(RestoreError, match="offset 101"):
+            inp.read_bool()
+
+    def test_base_offset_positions_truncation_error(self):
+        inp = DataInputStream(b"\x01", base_offset=40)
+        with pytest.raises(RestoreError, match="offset 40"):
+            inp.read_int32()
+
+    def test_absolute_position_tracks_base(self):
+        inp = DataInputStream(b"\x00\x00\x00\x00", base_offset=12)
+        assert inp.base_offset == 12
+        inp.read_int32()
+        assert inp.position == 4
+        assert inp.absolute_position == 16
 
     def test_position_and_remaining(self):
         out = DataOutputStream()

@@ -48,9 +48,19 @@ def _restore_flags(snapshot):
 
 class TestRegistry:
     def test_default_tiers_registered(self):
-        for name in ("none", "full", "incremental", "reflective", "iterative", "checking"):
+        for name in (
+            "none",
+            "full",
+            "incremental",
+            "reflective",
+            "iterative",
+            "checking",
+            "packed",
+            "differential",
+            "differential-verify",
+        ):
             assert name in DEFAULT_STRATEGIES
-        assert len(DEFAULT_STRATEGIES) == 6
+        assert len(DEFAULT_STRATEGIES) == 9
 
     def test_create_unknown_raises(self):
         with pytest.raises(CheckpointError, match="unknown strategy"):

@@ -68,3 +68,13 @@ class TestCalibratedOrderings:
             {"vcall": 5, "acc": 7, "getfield": 4, "test": 2, "write_int": 13}
         )
         assert HOTSPOT.seconds(generic_mix) < 0.7 * HARISSA.seconds(generic_mix)
+
+    def test_pack_and_hash_priced_consistently(self):
+        for profile in PROFILES:
+            # one batched store costs slightly more than one typed write,
+            # so batching wins exactly when it replaces several writes
+            assert profile.costs["write_int"] < profile.costs["pack"]
+            assert profile.costs["pack"] < 2 * profile.costs["write_int"]
+            # fingerprinting an object is far dearer than one store —
+            # verify mode must cost more than the walk it replaces
+            assert profile.costs["hash"] > 2 * profile.costs["pack"]
